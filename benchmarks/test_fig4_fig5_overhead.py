@@ -1,0 +1,45 @@
+"""Figures 4 and 5: monitoring overhead across Rodinia and SPEC CPU 2006.
+
+The paper's claims: ~8.2% average on (parallel) Rodinia, ~4.2% on
+(sequential) SPEC, every benchmark in low single to low double digits.
+"""
+
+import pytest
+
+from repro.experiments import PAPER_AVERAGES, run_suite_overheads
+
+from .conftest import print_artifact
+
+
+def test_figure4_rodinia_overhead(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_suite_overheads("rodinia"), rounds=1, iterations=1
+    )
+    print_artifact(result.table().render(), result.chart())
+
+    assert len(result.rows) == 18
+    assert result.average == pytest.approx(PAPER_AVERAGES["rodinia"], abs=3.0)
+    for name, value in result.rows:
+        assert 0.5 < value < 25.0, name
+
+
+def test_figure5_spec_overhead(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_suite_overheads("spec"), rounds=1, iterations=1
+    )
+    print_artifact(result.table().render(), result.chart())
+
+    assert len(result.rows) == 19
+    assert result.average == pytest.approx(PAPER_AVERAGES["spec"], abs=2.0)
+    for name, value in result.rows:
+        assert 0.3 < value < 12.0, name
+
+
+def test_parallel_suite_costs_more_than_sequential(benchmark):
+    """The cross-figure claim: Rodinia's average tops SPEC's."""
+    rodinia, spec = benchmark.pedantic(
+        lambda: (run_suite_overheads("rodinia", limit=6),
+                 run_suite_overheads("spec", limit=6)),
+        rounds=1, iterations=1,
+    )
+    assert rodinia.average > spec.average

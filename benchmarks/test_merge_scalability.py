@@ -1,0 +1,79 @@
+"""§5.2 scalability: reduction-tree profile merging.
+
+The paper: "If the number of threads and processes is huge, merging
+their profiles can be time consuming. To expedite this process,
+StructSlim leverages the reduction tree algorithm to merge all profiles
+in parallel." Python timings can't show parallel speedup directly, but
+two paper-relevant properties are measurable:
+
+- merge *work* grows near-linearly in the number of profiles (no
+  quadratic blowup from repeated re-merging), and
+- the tree's *critical path* is logarithmic: with P workers, the wall
+  time would be depth x per-merge cost, which we report alongside.
+"""
+
+import math
+import time
+
+from repro.profiler import ThreadProfile, reduction_tree_merge
+
+from .conftest import print_artifact
+from repro.experiments import Table
+
+
+def synthetic_profile(thread: int, streams: int = 64) -> ThreadProfile:
+    profile = ThreadProfile(thread=thread, program="synthetic")
+    for k in range(streams):
+        stream = profile.stream(0x400000 + k * 16, 0, ("heap", f"obj{k % 8}"))
+        base = k * 4096
+        for step in range(8):
+            stream.update(base + step * 64 + thread * 8, 10.0)
+        profile.add_data_latency(("heap", f"obj{k % 8}"), stream.total_latency)
+        profile.total_latency += stream.total_latency
+        profile.sample_count += stream.sample_count
+    return profile
+
+
+def test_reduction_tree_merge_scales(benchmark):
+    counts = (4, 16, 64, 256)
+    table = Table(
+        "SS5.2: reduction-tree merge across thread counts",
+        ["profiles", "merge seconds", "sec/profile", "tree depth"],
+    )
+
+    def run():
+        rows = []
+        for count in counts:
+            profiles = [synthetic_profile(t) for t in range(count)]
+            start = time.perf_counter()
+            merged = reduction_tree_merge(profiles)
+            elapsed = time.perf_counter() - start
+            assert merged.sample_count == sum(p.sample_count for p in profiles)
+            rows.append((count, elapsed, elapsed / count,
+                         math.ceil(math.log2(count))))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for row in rows:
+        table.add_row(*row)
+    print_artifact(table.render())
+
+    # Near-linear total work: per-profile cost must not grow with the
+    # profile count by more than a small factor (quadratic merging
+    # would grow it 64x over this sweep).
+    per_profile = [r[2] for r in rows]
+    assert per_profile[-1] < per_profile[0] * 8
+
+    # Logarithmic critical path: 256 profiles need only 8 tree levels.
+    assert rows[-1][3] == 8
+
+
+def test_merge_throughput(benchmark):
+    """Tracked microbenchmark: pairwise merge of two realistic profiles."""
+    a = synthetic_profile(0, streams=256)
+    b = synthetic_profile(1, streams=256)
+
+    from repro.profiler import merge_pair
+
+    merged = benchmark(merge_pair, a, b)
+    assert merged.sample_count == a.sample_count + b.sample_count

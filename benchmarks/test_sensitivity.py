@@ -1,0 +1,51 @@
+"""Sampling-period sensitivity sweep (methodology validation).
+
+The paper fixes one sample per 10,000 memory accesses; this study
+quantifies the safety margin: advice quality holds while hot streams
+keep >= ~10 unique samples (the Eq 4 threshold), and overhead falls
+linearly with the period.
+"""
+
+import pytest
+
+from repro.experiments import (
+    sensitivity_table,
+    stable_period_range,
+    sweep_sampling_period,
+)
+from repro.workloads import ArtWorkload
+
+from .conftest import BENCH_SCALE, print_artifact
+
+PERIODS = (127, 509, 2003, 8009, 32003)
+
+
+def test_art_advice_stability_across_periods(benchmark):
+    workload = ArtWorkload(scale=max(0.5, BENCH_SCALE))
+    points = benchmark.pedantic(
+        lambda: sweep_sampling_period(workload, PERIODS),
+        rounds=1, iterations=1,
+    )
+    print_artifact(sensitivity_table(workload.name, points).render())
+
+    by_period = {p.period: p for p in points}
+    # Dense sampling must reproduce Figure 7's split.
+    assert by_period[127].plan_matches
+    assert by_period[509].plan_matches
+    # Advice survives at least into the low thousands.
+    assert stable_period_range(points) >= 2003
+
+    # Overhead falls monotonically with the period...
+    overheads = [p.overhead_percent for p in points]
+    assert overheads == sorted(overheads, reverse=True)
+    # ...roughly linearly (x4 period -> ~x4 cheaper), as the cost model
+    # predicts for sample-count-dominated overhead.
+    assert overheads[0] / overheads[2] == pytest.approx(
+        PERIODS[2] / PERIODS[0], rel=0.35
+    )
+
+    # Sample starvation explains any failures: whenever advice broke,
+    # the hottest stream had fallen below the Eq 4 comfort zone.
+    for point in points:
+        if not point.plan_matches:
+            assert point.max_stream_unique < 30

@@ -1,0 +1,91 @@
+"""Tables 5-6 and Figure 6: the ART deep dive (§6.1).
+
+One monitored ART run produces all three artifacts; Table 5's per-field
+latency shares and Figure 6's affinities are checked quantitatively
+against the paper, Table 6 structurally (same loops, same field sets,
+same ordering of the heavy hitters).
+"""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_TABLE5,
+    figure6,
+    run_art_analysis,
+    table5,
+)
+from repro.workloads import F1_NEURON
+
+from .conftest import BENCH_SCALE, print_artifact
+
+_CACHE = []
+
+
+def _analysis():
+    if not _CACHE:
+        _CACHE.append(run_art_analysis(scale=BENCH_SCALE))
+    return _CACHE[0]
+
+
+def test_table5_field_latency_shares(benchmark):
+    analysis = benchmark.pedantic(_analysis, rounds=1, iterations=1)
+    print_artifact(table5(analysis).render())
+
+    shares = analysis.field_shares
+    # P dominates at ~73%, R is invisible to load sampling.
+    assert shares["P"] == pytest.approx(PAPER_TABLE5["P"] / 100, abs=0.08)
+    assert shares["R"] == 0.0
+    # The minor fields stay minor, in the paper's ordering band.
+    for field in ("I", "W", "X", "V", "U", "Q"):
+        assert shares[field] == pytest.approx(
+            PAPER_TABLE5[field] / 100, abs=0.04
+        ), field
+    assert abs(sum(shares.values()) - 1.0) < 1e-6
+
+
+def test_table6_loop_attribution(benchmark):
+    analysis = _analysis()
+    table = benchmark.pedantic(lambda: analysis.loop_rows, rounds=1,
+                               iterations=1)
+    print_artifact(table.render())
+
+    rows = {label: (share, fields) for label, share, fields, _, _ in
+            (tuple(r) for r in table.rows)}
+    # The hottest loop is 615-616 with only P, at >45% (paper 56.57%).
+    hottest = max(rows.items(), key=lambda kv: kv[1][0])
+    assert hottest[0].startswith("615")
+    assert hottest[1][0] > 45
+    assert hottest[1][1] == "P"
+    # Loop 545-548 touches exactly {U, I}; 559-570 exactly {X, Q}.
+    l545 = next(v for k, v in rows.items() if k.startswith("545"))
+    assert set(l545[1].split(",")) == {"U", "I"}
+    l559 = next(v for k, v in rows.items() if k.startswith("559"))
+    assert set(l559[1].split(",")) == {"X", "Q"}
+    # All nine paper loops are present.
+    assert len(rows) == 9
+
+
+def test_figure6_affinity_graph(benchmark):
+    analysis = _analysis()
+    affinities, dot = benchmark.pedantic(
+        lambda: figure6(analysis), rounds=1, iterations=1
+    )
+    print_artifact(affinities.render(), dot)
+
+    # The paper's headline affinities.
+    assert analysis.affinity("I", "U") == pytest.approx(0.86, abs=0.12)
+    assert analysis.affinity("P", "U") == pytest.approx(0.05, abs=0.05)
+    assert analysis.affinity("X", "Q") > 0.9
+    # The dot graph is the analyzer's published output format: offset
+    # nodes, weighted edges, one cluster per recommended struct.
+    assert dot.startswith('graph "f1_layer"')
+    assert "subgraph cluster_" in dot
+    assert "--" in dot
+
+    # The advice reproduces Figure 7's six structures.
+    plan = analysis.analysis.advice.split_plan(F1_NEURON)
+    groups = {frozenset(g) for g in plan.groups}
+    assert groups == {
+        frozenset({"P"}), frozenset({"X", "Q"}), frozenset({"I", "U"}),
+        frozenset({"V"}), frozenset({"W"}), frozenset({"R"}),
+    }

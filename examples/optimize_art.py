@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's flagship case study: 179.ART (§6.1).
+
+Profiles the ART model, prints the paper's Tables 5 and 6 side by side
+with our measurements, writes the Figure 6 affinity graph as graphviz
+dot, and applies the recommended split (Figure 7) to report the
+speedup.
+
+Run:  python examples/optimize_art.py [--scale 0.5] [--dot art.dot]
+"""
+
+import argparse
+from pathlib import Path
+
+from repro.core import OfflineAnalyzer, derive_plans
+from repro.experiments import figure6, run_art_analysis, table5
+from repro.memsim import speedup
+from repro.profiler import Monitor
+from repro.workloads import ArtWorkload
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale (1.0 = paper-like sizes)")
+    parser.add_argument("--dot", type=Path, default=None,
+                        help="write the affinity graph here as graphviz dot")
+    args = parser.parse_args()
+
+    analysis = run_art_analysis(scale=args.scale)
+    print(table5(analysis).render())
+    print()
+    print(analysis.loop_rows.render())
+    print()
+    affinities, dot = figure6(analysis)
+    print(affinities.render())
+    if args.dot:
+        args.dot.write_text(dot)
+        print(f"\nwrote affinity graph to {args.dot}")
+
+    # Apply the split the analysis recommends and measure the win.
+    workload = ArtWorkload(scale=args.scale)
+    monitor = Monitor(sampling_period=workload.recommended_period)
+    plans = derive_plans(analysis.report, workload.target_structs())
+    print(f"\nrecommended split: {plans['f1_layer'].describe()}")
+    original = monitor.run_unmonitored(workload.build_original())
+    optimized = monitor.run_unmonitored(workload.build_split(plans))
+    print(f"speedup: {speedup(original, optimized):.2f}x (paper: 1.37x)")
+
+
+if __name__ == "__main__":
+    main()

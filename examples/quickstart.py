@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Figure 1 example, end to end.
+
+Builds the motivating workload — an array of ``struct type {int a, b,
+c, d}`` where one loop reads a+c and another reads b+d — profiles it
+under simulated PEBS-LL sampling, lets StructSlim recover the structure
+and recommend a split, applies the split, and measures the speedup.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import OfflineAnalyzer, derive_plans
+from repro.layout import INT, StructType
+from repro.memsim import miss_reduction, speedup
+from repro.profiler import Monitor
+from repro.program import Access, Function, Loop, WorkloadBuilder, affine
+
+N = 40_000
+
+FIGURE1_TYPE = StructType(
+    "type", [("a", INT), ("b", INT), ("c", INT), ("d", INT)]
+)
+
+
+def build(split_plans=None):
+    """The Figure 1 program against either layout."""
+    builder = WorkloadBuilder("figure1", variant="split" if split_plans else "original")
+    if split_plans:
+        from repro.layout import apply_split
+
+        builder.add_split_aos(
+            apply_split(FIGURE1_TYPE, split_plans["Arr"]), N, name="Arr",
+            call_path=("main",),
+        )
+    else:
+        builder.add_aos(FIGURE1_TYPE, N, name="Arr", call_path=("main",))
+    builder.add_scalar("B", INT, N)
+    builder.add_scalar("C", INT, N)
+
+    body = [
+        Loop(line=4, var="i", start=0, stop=N, end_line=5, body=[
+            Access(line=5, array="Arr", field="a", index=affine("i")),
+            Access(line=5, array="Arr", field="c", index=affine("i")),
+            Access(line=5, array="B", index=affine("i"), is_write=True),
+        ]),
+        Loop(line=7, var="i", start=0, stop=N, end_line=8, body=[
+            Access(line=8, array="Arr", field="b", index=affine("i")),
+            Access(line=8, array="Arr", field="d", index=affine("i")),
+            Access(line=8, array="C", index=affine("i"), is_write=True),
+        ]),
+    ]
+    return builder.build([Function("main", body, line=1)])
+
+
+def main():
+    # 1. Profile the original binary under address sampling.
+    monitor = Monitor(sampling_period=199)
+    run = monitor.run(build())
+    print(f"collected {run.sample_count} address samples "
+          f"(modelled overhead {run.overhead_percent:.2f}%)\n")
+
+    # 2. Offline analysis: hot data, stride/size recovery, affinities.
+    report = OfflineAnalyzer().analyze(run)
+    print(report.render())
+
+    # 3. Turn the advice into a split plan using the source definition.
+    plans = derive_plans(report, {"Arr": FIGURE1_TYPE})
+    print("\nadvice:", plans["Arr"].describe())
+
+    # 4. Apply the split and measure.
+    optimized = monitor.run_unmonitored(build(plans))
+    print(f"\nspeedup: {speedup(run.metrics, optimized):.2f}x")
+    for level, pct in miss_reduction(run.metrics, optimized).items():
+        print(f"  {level} miss reduction: {pct:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Array regrouping: the paper's stated future work (§7), implemented.
+
+Profiles an n-body-style SoA kernel whose gather loop touches three
+separate coordinate arrays per visited body, derives the regrouping
+advice from the same latency-weighted affinity machinery structure
+splitting uses (just at whole-array granularity), applies the
+interleaving, and measures the win.
+
+Run:  python examples/regroup_arrays.py [--scale 0.5]
+"""
+
+import argparse
+
+from repro.core import recommend_regrouping
+from repro.memsim import miss_reduction, speedup
+from repro.profiler import Monitor
+from repro.workloads import RegroupingWorkload
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    args = parser.parse_args()
+
+    workload = RegroupingWorkload(scale=args.scale)
+    monitor = Monitor(sampling_period=workload.recommended_period)
+    run = monitor.run(workload.build_original())
+    print(f"profiled {run.sample_count} samples over "
+          f"{run.metrics.accesses} accesses\n")
+
+    advice = recommend_regrouping(run.merged)
+    if not advice:
+        print("no regrouping opportunity found")
+        return
+    for entry in advice:
+        print("advice:", entry.describe())
+
+    regrouped = monitor.run_unmonitored(
+        workload.build_regrouped(advice[0].names)
+    )
+    print(f"\nspeedup: {speedup(run.metrics, regrouped):.2f}x")
+    for level, pct in miss_reduction(run.metrics, regrouped).items():
+        print(f"  {level} miss reduction: {pct:.1f}%")
+    print("\nnote: 'mass' stays separate — it is never co-accessed with "
+          "the coordinates,\nso interleaving it would waste the very "
+          "cache bytes splitting recovers.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""StructSlim reproduction — a lightweight profiler to guide structure
+splitting (Roy & Liu, CGO 2016).
+
+The package reimplements the complete StructSlim system in Python over
+simulated substrates (see DESIGN.md):
+
+- :mod:`repro.layout` — C-ABI structure layout and the splitting transform
+- :mod:`repro.program` — workload IR and interpreter (stands in for binaries)
+- :mod:`repro.binary` — CFG lowering, Havlak loop analysis, symbols, lines
+- :mod:`repro.memsim` — the cache hierarchy that supplies access latencies
+- :mod:`repro.sampling` — PEBS-LL / IBS address-sampling models
+- :mod:`repro.profiler` — the online profiler runtime and profile merging
+- :mod:`repro.core` — the paper's analyses (Eqs 1-7) and the full pipeline
+- :mod:`repro.baselines` — instrumentation-based comparators from §3
+- :mod:`repro.workloads` — the seven §6 benchmarks plus suite rosters
+- :mod:`repro.experiments` — regenerators for every table and figure
+
+Quickstart::
+
+    from repro import optimize
+    from repro.workloads import ArtWorkload
+
+    result = optimize(ArtWorkload())
+    print(result.report.render())
+    print(f"speedup: {result.speedup:.2f}x")
+"""
+
+from .core import (
+    AnalysisReport,
+    OfflineAnalyzer,
+    OptimizationResult,
+    StructureAdvice,
+    derive_plans,
+    gcd_stride,
+    optimize,
+)
+from .layout import SplitPlan, StructType, apply_split
+from .memsim import HierarchyConfig, MemoryHierarchy, RunMetrics, simulate
+from .profiler import Monitor, ProfiledRun, ThreadProfile
+from .sampling import IBSSampler, PEBSLoadLatencySampler, SamplingEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisReport",
+    "HierarchyConfig",
+    "IBSSampler",
+    "MemoryHierarchy",
+    "Monitor",
+    "OfflineAnalyzer",
+    "OptimizationResult",
+    "PEBSLoadLatencySampler",
+    "ProfiledRun",
+    "RunMetrics",
+    "SamplingEngine",
+    "SplitPlan",
+    "StructType",
+    "StructureAdvice",
+    "ThreadProfile",
+    "__version__",
+    "apply_split",
+    "derive_plans",
+    "gcd_stride",
+    "optimize",
+    "simulate",
+]

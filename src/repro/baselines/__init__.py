@@ -1,0 +1,18 @@
+"""Instrumentation-based comparators from the paper's related work."""
+
+from .aslop import AslopProfiler
+from .base import BaselineResult, InstrumentingProfiler
+from .bursty import BurstySamplingProfiler
+from .frequency import FREQUENCY_INSTRUMENTATION, FrequencyAffinityProfiler
+from .reuse_distance import DEFAULT_WINDOW, ReuseDistanceProfiler
+
+__all__ = [
+    "AslopProfiler",
+    "BaselineResult",
+    "BurstySamplingProfiler",
+    "DEFAULT_WINDOW",
+    "FREQUENCY_INSTRUMENTATION",
+    "FrequencyAffinityProfiler",
+    "InstrumentingProfiler",
+    "ReuseDistanceProfiler",
+]

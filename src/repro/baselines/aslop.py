@@ -1,0 +1,27 @@
+"""ASLOP-style miss-weighted affinity (§3.1, ref [35]).
+
+Yan et al.'s ASLOP instruments basic blocks (not every access) and
+combines block execution frequencies with hardware cache-miss counts.
+We model its policy as miss-weighted counting: an access contributes to
+field affinity only when it misses the L1, approximating "frequency x
+miss rate". Its collection cost is the paper's quoted 4.2x.
+"""
+
+from __future__ import annotations
+
+from ..program.trace import MemoryAccess
+from ..sampling.overhead import ASLOP_INSTRUMENTATION
+from .base import InstrumentingProfiler
+
+
+class AslopProfiler(InstrumentingProfiler):
+    """Weights accesses by whether they missed the first-level cache."""
+
+    tool_name = "ASLOP (Yan et al.)"
+
+    def __init__(self, registry, loop_map, structs, **kwargs) -> None:
+        kwargs.setdefault("instrumentation", ASLOP_INSTRUMENTATION)
+        super().__init__(registry, loop_map, structs, **kwargs)
+
+    def weight(self, access: MemoryAccess, latency: float) -> float:
+        return 1.0 if latency > self.l1_latency else 0.0

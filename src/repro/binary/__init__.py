@@ -1,0 +1,28 @@
+"""Binary-analysis substrate: CFGs, Havlak loop nesting, symbols, lines."""
+
+from .cfg import BasicBlock, ControlFlowGraph
+from .havlak import LoopInfo, LoopNest, find_loops
+from .linemap import LineMap
+from .loopmap import LoopDescriptor, LoopMap
+from .lower import ip_extent, lower_function, lower_program
+from .structure import StructureFile, emit_structure, parse_structure
+from .symtab import Symbol, SymbolTable
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "LineMap",
+    "LoopDescriptor",
+    "LoopInfo",
+    "LoopMap",
+    "LoopNest",
+    "StructureFile",
+    "Symbol",
+    "emit_structure",
+    "parse_structure",
+    "SymbolTable",
+    "find_loops",
+    "ip_extent",
+    "lower_function",
+    "lower_program",
+]

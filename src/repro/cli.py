@@ -1,0 +1,263 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors how the real tool is driven (a profiler run followed by an
+offline analyzer invocation), plus shortcuts that regenerate the
+paper's artifacts:
+
+    python -m repro list                      # available workloads
+    python -m repro analyze 179.ART           # profile + full report
+    python -m repro optimize 179.ART          # report + split + speedup
+    python -m repro regroup                   # array-regrouping demo
+    python -m repro table3 [--scale 0.5]      # Tables 3 and 4
+    python -m repro art [--dot art.dot]       # Tables 5/6 + Figure 6
+    python -m repro overhead rodinia|spec     # Figures 4/5
+    python -m repro accuracy                  # Eq 4 sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import OfflineAnalyzer, derive_plans, optimize, recommend_regrouping
+from .memsim import speedup
+from .profiler import Monitor
+from .workloads import TABLE2_WORKLOADS, RegroupingWorkload
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="StructSlim reproduction (Roy & Liu, CGO 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the Table 2 workloads")
+
+    for name, text in (
+        ("analyze", "profile a workload and print the analysis report"),
+        ("optimize", "analyze, apply the advised split, report the speedup"),
+    ):
+        p = sub.add_parser(name, help=text)
+        p.add_argument("workload", choices=sorted(TABLE2_WORKLOADS))
+        p.add_argument("--scale", type=float, default=1.0)
+        p.add_argument("--period", type=int, default=None,
+                       help="sampling period (default: workload-recommended)")
+        p.add_argument("--out", type=str, default=None,
+                       help="write the full analysis package (report, dot "
+                            "graphs, plans.json, structure.xml) here")
+
+    p = sub.add_parser("regroup", help="array-regrouping extension demo")
+    p.add_argument("--scale", type=float, default=1.0)
+
+    p = sub.add_parser("table3", help="regenerate Tables 3 and 4")
+    p.add_argument("--scale", type=float, default=1.0)
+
+    p = sub.add_parser("art", help="regenerate Tables 5/6 and Figure 6")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--dot", type=str, default=None,
+                   help="write the affinity graph to this file")
+
+    p = sub.add_parser("overhead", help="regenerate Figure 4 or 5")
+    p.add_argument("suite", choices=["rodinia", "spec"])
+
+    p = sub.add_parser("accuracy", help="regenerate the Eq 4 study")
+    p.add_argument("--trials", type=int, default=1000)
+
+    p = sub.add_parser("views", help="code- and data-centric profile views")
+    p.add_argument("workload", choices=sorted(TABLE2_WORKLOADS))
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--period", type=int, default=None)
+
+    p = sub.add_parser("sensitivity",
+                       help="sampling-period sweep: advice quality vs cost")
+    p.add_argument("workload", choices=sorted(TABLE2_WORKLOADS))
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--periods", type=int, nargs="+",
+                   default=[127, 509, 2003, 8009, 32003])
+
+    p = sub.add_parser("summary", help="regenerate the complete evaluation")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--no-suites", action="store_true",
+                   help="skip the Figure 4/5 suite sweeps")
+    return parser
+
+
+def _monitored_run(args):
+    workload = TABLE2_WORKLOADS[args.workload](scale=args.scale)
+    period = args.period or workload.recommended_period
+    monitor = Monitor(sampling_period=period)
+    run = monitor.run(workload.build_original(),
+                      num_threads=workload.num_threads)
+    return workload, monitor, run
+
+
+def _cmd_list(args, out) -> int:
+    for name, factory in TABLE2_WORKLOADS.items():
+        workload = factory(scale=0.01)
+        kind = "parallel x4" if workload.num_threads > 1 else "sequential"
+        structs = ", ".join(
+            s.name for s in workload.target_structs().values()
+        )
+        print(f"{name:16s} {kind:12s} target struct: {structs}", file=out)
+    return 0
+
+
+def _cmd_analyze(args, out) -> int:
+    workload, _, run = _monitored_run(args)
+    report = OfflineAnalyzer().analyze(run)
+    print(report.render(), file=out)
+    print(f"\nmonitoring overhead (modelled): {run.overhead_percent:.2f}%",
+          file=out)
+    _maybe_write_package(args, report, workload, run, out)
+    return 0
+
+
+def _maybe_write_package(args, report, workload, run, out) -> None:
+    if getattr(args, "out", None):
+        from .core import write_outputs
+
+        paths = write_outputs(
+            report, args.out, structs=workload.target_structs(), run=run
+        )
+        print(f"wrote {len(paths)} files to {args.out}", file=out)
+
+
+def _cmd_optimize(args, out) -> int:
+    workload, monitor, run = _monitored_run(args)
+    report = OfflineAnalyzer().analyze(run)
+    print(report.render(), file=out)
+    _maybe_write_package(args, report, workload, run, out)
+    plans = derive_plans(report, workload.target_structs())
+    if not plans:
+        print("\nno split recommended", file=out)
+        return 1
+    for plan in plans.values():
+        print(f"\nadvice: {plan.describe()}", file=out)
+    optimized = monitor.run_unmonitored(
+        workload.build_split(plans), num_threads=workload.num_threads
+    )
+    print(f"speedup: {speedup(run.metrics, optimized):.2f}x", file=out)
+    return 0
+
+
+def _cmd_regroup(args, out) -> int:
+    workload = RegroupingWorkload(scale=args.scale)
+    monitor = Monitor(sampling_period=workload.recommended_period)
+    run = monitor.run(workload.build_original())
+    advice = recommend_regrouping(run.merged)
+    if not advice:
+        print("no regrouping opportunity found", file=out)
+        return 1
+    for entry in advice:
+        print(entry.describe(), file=out)
+    regrouped = monitor.run_unmonitored(
+        workload.build_regrouped(advice[0].names)
+    )
+    print(f"speedup: {speedup(run.metrics, regrouped):.2f}x", file=out)
+    return 0
+
+
+def _cmd_table3(args, out) -> int:
+    from .experiments import run_all, table3, table4
+
+    results = run_all(scale=args.scale)
+    print(table3(results).render(), file=out)
+    print(file=out)
+    print(table4(results).render(), file=out)
+    return 0
+
+
+def _cmd_art(args, out) -> int:
+    from .experiments import figure6, run_art_analysis, table5
+
+    analysis = run_art_analysis(scale=args.scale)
+    print(table5(analysis).render(), file=out)
+    print(file=out)
+    print(analysis.loop_rows.render(), file=out)
+    print(file=out)
+    affinities, dot = figure6(analysis)
+    print(affinities.render(), file=out)
+    if args.dot:
+        with open(args.dot, "w") as fh:
+            fh.write(dot)
+        print(f"wrote {args.dot}", file=out)
+    return 0
+
+
+def _cmd_overhead(args, out) -> int:
+    from .experiments import run_suite_overheads
+
+    result = run_suite_overheads(args.suite)
+    print(result.chart(), file=out)
+    return 0
+
+
+def _cmd_accuracy(args, out) -> int:
+    from .experiments import run_accuracy_sweep
+
+    print(run_accuracy_sweep(trials=args.trials).render(), file=out)
+    return 0
+
+
+def _cmd_views(args, out) -> int:
+    from .core import code_centric_view, data_centric_view
+
+    _, _, run = _monitored_run(args)
+    print("=== code-centric view ===", file=out)
+    print(code_centric_view(run.merged, run.loop_map).render(), file=out)
+    print(file=out)
+    print("=== data-centric view ===", file=out)
+    print(data_centric_view(run.merged, run.loop_map).render(), file=out)
+    return 0
+
+
+def _cmd_sensitivity(args, out) -> int:
+    from .experiments import sensitivity_table, sweep_sampling_period
+
+    workload = TABLE2_WORKLOADS[args.workload](scale=args.scale)
+    points = sweep_sampling_period(workload, args.periods)
+    print(sensitivity_table(workload.name, points).render(), file=out)
+    return 0
+
+
+def _cmd_summary(args, out) -> int:
+    from .experiments import run_complete_evaluation
+
+    report = run_complete_evaluation(
+        scale=args.scale,
+        include_suites=not args.no_suites,
+        progress=lambda message: print(message, file=out),
+    )
+    print(file=out)
+    print(report.render(), file=out)
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "analyze": _cmd_analyze,
+    "optimize": _cmd_optimize,
+    "regroup": _cmd_regroup,
+    "table3": _cmd_table3,
+    "art": _cmd_art,
+    "overhead": _cmd_overhead,
+    "accuracy": _cmd_accuracy,
+    "views": _cmd_views,
+    "sensitivity": _cmd_sensitivity,
+    "summary": _cmd_summary,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out or sys.stdout)
+    except BrokenPipeError:
+        # Output was piped into something like `head`; not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

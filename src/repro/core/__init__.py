@@ -1,0 +1,101 @@
+"""StructSlim's core analyses: Eqs 1-7, clustering, advice, pipeline."""
+
+from .advice import StructureAdvice, build_advice
+from .affinity import AffinityMatrix, compute_affinities
+from .analyzer import AnalysisReport, ObjectAnalysis, OfflineAnalyzer
+from .attribution import (
+    LoopAccessEntry,
+    loop_offset_table,
+    loop_share_rows,
+    object_total_latency,
+)
+from .clustering import DEFAULT_THRESHOLD, cluster_offsets, group_latencies
+from .hotdata import HotDataEntry, hot_data, latency_share, rank_data_objects
+from .output import plans_from_dict, plans_to_dict, read_plans, write_outputs
+from .pipeline import OptimizationResult, Workload, derive_plans, optimize
+from .regrouping import (
+    ArrayAffinity,
+    ArrayUsage,
+    RegroupingAdvice,
+    array_affinities,
+    collect_array_usage,
+    recommend_regrouping,
+)
+from .streams import (
+    NO_LOOP,
+    streams_by_loop,
+    streams_of,
+    strided_streams,
+    total_unique_samples,
+)
+from .stride import (
+    accuracy_lower_bound,
+    empirical_accuracy,
+    exact_accuracy,
+    gcd_stride,
+    is_strided,
+    unique_in_order,
+)
+from .views import ViewNode, code_centric_view, data_centric_view, hot_paths
+from .structsize import (
+    RecoveredField,
+    RecoveredStruct,
+    field_offset,
+    recover_struct,
+    structure_size,
+)
+
+__all__ = [
+    "AffinityMatrix",
+    "AnalysisReport",
+    "DEFAULT_THRESHOLD",
+    "HotDataEntry",
+    "LoopAccessEntry",
+    "NO_LOOP",
+    "ObjectAnalysis",
+    "OfflineAnalyzer",
+    "OptimizationResult",
+    "RecoveredField",
+    "RecoveredStruct",
+    "RegroupingAdvice",
+    "ArrayAffinity",
+    "ArrayUsage",
+    "array_affinities",
+    "collect_array_usage",
+    "recommend_regrouping",
+    "plans_from_dict",
+    "plans_to_dict",
+    "read_plans",
+    "write_outputs",
+    "StructureAdvice",
+    "Workload",
+    "accuracy_lower_bound",
+    "build_advice",
+    "cluster_offsets",
+    "compute_affinities",
+    "derive_plans",
+    "empirical_accuracy",
+    "exact_accuracy",
+    "field_offset",
+    "gcd_stride",
+    "group_latencies",
+    "hot_data",
+    "is_strided",
+    "latency_share",
+    "loop_offset_table",
+    "loop_share_rows",
+    "object_total_latency",
+    "optimize",
+    "rank_data_objects",
+    "recover_struct",
+    "streams_by_loop",
+    "streams_of",
+    "strided_streams",
+    "structure_size",
+    "total_unique_samples",
+    "unique_in_order",
+    "ViewNode",
+    "code_centric_view",
+    "data_centric_view",
+    "hot_paths",
+]

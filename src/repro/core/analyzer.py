@@ -1,0 +1,174 @@
+"""The offline analyzer (§5.2): profiles in, splitting advice out.
+
+Runs the full §4 methodology over a :class:`ProfiledRun`: hot-data
+filtering, structure recovery, loop attribution, affinity computation,
+and clustering — then maps results back to source lines for the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..profiler.monitor import ProfiledRun
+from ..profiler.profile import DataIdentity, ThreadProfile
+from .advice import StructureAdvice, build_advice
+from .affinity import AffinityMatrix, compute_affinities
+from .attribution import LoopAccessEntry, loop_offset_table, loop_share_rows
+from .clustering import DEFAULT_THRESHOLD
+from .hotdata import HotDataEntry, hot_data, rank_data_objects
+from .structsize import RecoveredStruct, recover_struct
+
+
+@dataclass
+class ObjectAnalysis:
+    """Everything the analyzer learned about one hot data object."""
+
+    entry: HotDataEntry
+    recovered: Optional[RecoveredStruct] = None
+    loop_table: Dict[int, LoopAccessEntry] = field(default_factory=dict)
+    affinity: Optional[AffinityMatrix] = None
+    advice: Optional[StructureAdvice] = None
+
+    @property
+    def name(self) -> str:
+        return self.entry.name
+
+    def analyzable(self) -> bool:
+        return self.advice is not None
+
+    def data_sources(self) -> Dict[str, int]:
+        """Aggregate PEBS data-source counts over the object's streams."""
+        counts: Dict[str, int] = {}
+        if self.recovered is None:
+            return counts
+        for field_info in self.recovered.fields.values():
+            for stream in field_info.streams:
+                for source, count in stream.source_counts.items():
+                    counts[source] = counts.get(source, 0) + count
+        return counts
+
+
+@dataclass
+class AnalysisReport:
+    """The analyzer's whole-program output."""
+
+    workload: str
+    variant: str
+    total_latency: float
+    sample_count: int
+    hot: List[HotDataEntry]
+    objects: Dict[DataIdentity, ObjectAnalysis]
+    all_objects: List[HotDataEntry]
+
+    def object_by_name(self, name: str) -> Optional[ObjectAnalysis]:
+        for identity, analysis in self.objects.items():
+            if identity[-1] == name or name in identity:
+                return analysis
+        return None
+
+    def advised(self) -> List[ObjectAnalysis]:
+        return [a for a in self.objects.values() if a.analyzable()]
+
+    def render(self) -> str:
+        """Human-readable report: the paper's Tables 5/6 layout."""
+        lines = [
+            f"== StructSlim analysis: {self.workload} ({self.variant}) ==",
+            f"samples: {self.sample_count}, total sampled latency: "
+            f"{self.total_latency:.0f} cycles",
+            "",
+            "hot data objects (l_d):",
+        ]
+        for entry in self.hot:
+            lines.append(f"  {entry.name}: {entry.share:.1%}")
+        for identity, analysis in self.objects.items():
+            lines.append("")
+            lines.append(f"-- {analysis.name} --")
+            if analysis.recovered is None:
+                lines.append("  (no strided access pattern; skipped)")
+                continue
+            lines.append(f"  element size: {analysis.recovered.size} bytes")
+            sources = analysis.data_sources()
+            if sources:
+                total = sum(sources.values())
+                breakdown = ", ".join(
+                    f"{level} {sources.get(level, 0) / total:.0%}"
+                    for level in ("L1", "L2", "L3", "DRAM")
+                    if sources.get(level)
+                )
+                lines.append(f"  sample data sources: {breakdown}")
+            lines.append("  per-loop latency (Table 6 layout):")
+            for label, share, offsets in loop_share_rows(analysis.loop_table):
+                offs = ",".join(str(o) for o in offsets)
+                lines.append(f"    loop {label}: {share:.2%}  offsets [{offs}]")
+            if analysis.advice is not None:
+                lines.append(analysis.advice.describe())
+        return "\n".join(lines)
+
+
+class OfflineAnalyzer:
+    """Configurable driver for the §4 analysis stack."""
+
+    def __init__(
+        self,
+        *,
+        top: int = 3,
+        min_share: float = 0.01,
+        min_unique: int = 2,
+        threshold: float = DEFAULT_THRESHOLD,
+    ) -> None:
+        self.top = top
+        self.min_share = min_share
+        self.min_unique = min_unique
+        self.threshold = threshold
+
+    def analyze_profile(
+        self,
+        profile: ThreadProfile,
+        *,
+        loop_map=None,
+        workload: str = "",
+        variant: str = "original",
+        sample_count: int = 0,
+    ) -> AnalysisReport:
+        """Analyze an already-merged profile (analyzer entry point)."""
+        hot = hot_data(profile, top=self.top, min_share=self.min_share)
+        objects: Dict[DataIdentity, ObjectAnalysis] = {}
+        for entry in hot:
+            analysis = ObjectAnalysis(entry=entry)
+            objects[entry.identity] = analysis
+            recovered = recover_struct(
+                profile, entry.identity, min_unique=self.min_unique
+            )
+            if recovered is None:
+                continue
+            analysis.recovered = recovered
+            analysis.loop_table = loop_offset_table(
+                profile, entry.identity, recovered.size, loop_map
+            )
+            analysis.affinity = compute_affinities(analysis.loop_table)
+            analysis.advice = build_advice(
+                entry.identity,
+                recovered,
+                analysis.affinity,
+                threshold=self.threshold,
+            )
+        return AnalysisReport(
+            workload=workload,
+            variant=variant,
+            total_latency=profile.total_latency,
+            sample_count=sample_count or profile.sample_count,
+            hot=hot,
+            objects=objects,
+            all_objects=rank_data_objects(profile),
+        )
+
+    def analyze(self, run: ProfiledRun) -> AnalysisReport:
+        """Analyze a monitored run end-to-end."""
+        return self.analyze_profile(
+            run.merged,
+            loop_map=run.loop_map,
+            workload=run.workload,
+            variant=run.variant,
+            sample_count=run.sample_count,
+        )

@@ -1,0 +1,59 @@
+"""Pinpointing hot data (Eq 1): the latency-share filter.
+
+StructSlim only analyzes the few data structures that dominate memory
+latency; everything else is filtered out so optimization effort is not
+wasted. ``l_d`` for a data object is its share of total sampled latency,
+and the paper finds the top three objects always suffice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..profiler.profile import DataIdentity, ThreadProfile
+
+
+@dataclass(frozen=True)
+class HotDataEntry:
+    """One data object with its latency share ``l_d``."""
+
+    identity: DataIdentity
+    latency: float
+    share: float  # l_d, in [0, 1]
+
+    @property
+    def name(self) -> str:
+        return self.identity[-1]
+
+
+def latency_share(profile: ThreadProfile, identity: DataIdentity) -> float:
+    """Eq 1 for a single data object."""
+    if profile.total_latency <= 0:
+        return 0.0
+    return profile.data_latency.get(identity, 0.0) / profile.total_latency
+
+
+def rank_data_objects(profile: ThreadProfile) -> List[HotDataEntry]:
+    """All data objects ordered by descending latency share."""
+    total = profile.total_latency
+    entries = [
+        HotDataEntry(identity, latency, latency / total if total > 0 else 0.0)
+        for identity, latency in profile.data_latency.items()
+    ]
+    entries.sort(key=lambda e: (-e.latency, e.identity))
+    return entries
+
+
+def hot_data(
+    profile: ThreadProfile,
+    *,
+    top: int = 3,
+    min_share: float = 0.01,
+) -> List[HotDataEntry]:
+    """The significant data objects (the paper's 'top three' rule).
+
+    Objects below ``min_share`` are dropped even inside the top-N: a
+    program whose latency is spread thin has no hot data.
+    """
+    return [e for e in rank_data_objects(profile)[:top] if e.share >= min_share]

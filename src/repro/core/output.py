@@ -1,0 +1,101 @@
+"""Analyzer output packages: everything the tool hands the programmer.
+
+The real analyzer's deliverable is a directory of artifacts — the
+textual report, one dot graph per hot structure, the machine-readable
+split plans, and the recovered program structure. ``write_outputs``
+produces exactly that, and ``read_plans`` loads the plans back so a
+build system (or the paper's envisioned ROSE pass) can apply them
+without rerunning analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..binary.structure import emit_structure
+from ..layout.splitting import SplitPlan
+from ..layout.struct import StructType
+from ..profiler.monitor import ProfiledRun
+from .analyzer import AnalysisReport
+from .pipeline import derive_plans
+
+PathLike = Union[str, Path]
+
+
+def _safe_name(name: str) -> str:
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
+
+
+def write_outputs(
+    report: AnalysisReport,
+    out_dir: PathLike,
+    *,
+    structs: Optional[Dict[str, StructType]] = None,
+    run: Optional[ProfiledRun] = None,
+) -> List[Path]:
+    """Write the analysis package into ``out_dir``; returns the paths.
+
+    Always written: ``report.txt`` and one ``<object>.dot`` per advised
+    structure. With ``structs``: ``plans.json`` (the applicable split
+    plans). With ``run``: ``structure.xml`` (the recovered program
+    structure) and the merged ``profile.json``.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+
+    report_path = out / "report.txt"
+    report_path.write_text(report.render() + "\n")
+    written.append(report_path)
+
+    for analysis in report.advised():
+        assert analysis.advice is not None
+        dot_path = out / f"{_safe_name(analysis.name)}.dot"
+        dot_path.write_text(analysis.advice.to_dot() + "\n")
+        written.append(dot_path)
+
+    if structs is not None:
+        plans = derive_plans(report, structs)
+        plans_path = out / "plans.json"
+        plans_path.write_text(json.dumps(plans_to_dict(plans), indent=2))
+        written.append(plans_path)
+
+    if run is not None:
+        if run.program is not None:
+            structure_path = out / "structure.xml"
+            structure_path.write_text(
+                emit_structure(run.program, run.loop_map)
+            )
+            written.append(structure_path)
+        profile_path = out / "profile.json"
+        run.merged.save(profile_path)
+        written.append(profile_path)
+    return written
+
+
+def plans_to_dict(plans: Dict[str, SplitPlan]) -> dict:
+    """Serialize split plans to the plans.json schema."""
+    return {
+        array: {
+            "struct": plan.struct_name,
+            "groups": [list(group) for group in plan.groups],
+        }
+        for array, plan in plans.items()
+    }
+
+
+def plans_from_dict(data: dict) -> Dict[str, SplitPlan]:
+    """Inverse of :func:`plans_to_dict`."""
+    return {
+        array: SplitPlan(
+            entry["struct"], tuple(tuple(g) for g in entry["groups"])
+        )
+        for array, entry in data.items()
+    }
+
+
+def read_plans(path: PathLike) -> Dict[str, SplitPlan]:
+    """Load a ``plans.json`` written by :func:`write_outputs`."""
+    return plans_from_dict(json.loads(Path(path).read_text()))

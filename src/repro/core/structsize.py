@@ -1,0 +1,104 @@
+"""Structure-size and field-offset recovery (Eqs 5-6).
+
+The structure size is the GCD of all its streams' strides (every
+stream walks the array at a multiple of the element size), and a
+stream's field offset is its sampled address relative to the object's
+base, reduced modulo the recovered size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..profiler.online import StreamState
+from ..profiler.profile import DataIdentity, ThreadProfile
+from .streams import strided_streams
+
+
+def structure_size(streams: Sequence[StreamState]) -> int:
+    """Eq 5: size = gcd of the streams' strides. 0 when unknown."""
+    size = 0
+    for s in streams:
+        size = math.gcd(size, s.stride)
+    return size
+
+
+def field_offset(stream: StreamState, size: int) -> int:
+    """Eq 6: offset = (m - s) mod size for any sampled address m.
+
+    We use the stream's minimum sampled address as the representative
+    m_i; any member works because they all share the same residue.
+    """
+    if size <= 0:
+        raise ValueError("structure size must be positive")
+    if stream.min_address is None:
+        raise ValueError("stream has no sampled address")
+    return (stream.min_address - stream.data_base) % size
+
+
+@dataclass
+class RecoveredField:
+    """One field (identified by its byte offset) of a recovered struct."""
+
+    offset: int
+    latency: float = 0.0
+    sample_count: int = 0
+    streams: List[StreamState] = field(default_factory=list)
+
+
+@dataclass
+class RecoveredStruct:
+    """What StructSlim inferred about one data object's element type."""
+
+    identity: DataIdentity
+    size: int
+    fields: Dict[int, RecoveredField]
+    total_latency: float  # all sampled latency on this object
+
+    @property
+    def offsets(self) -> List[int]:
+        return sorted(self.fields)
+
+    def latency_share(self, offset: int) -> float:
+        if self.total_latency <= 0:
+            return 0.0
+        return self.fields[offset].latency / self.total_latency
+
+
+def recover_struct(
+    profile: ThreadProfile,
+    identity: DataIdentity,
+    *,
+    min_unique: int = 2,
+) -> Optional[RecoveredStruct]:
+    """Run Eqs 5-6 for one data object; None if no stride evidence.
+
+    Only strided streams vote on the size (unit/irregular streams would
+    collapse the GCD to the access width), but *every* stream with a
+    sampled address is assigned an offset so its latency lands on the
+    right field.
+    """
+    voters = strided_streams(profile, identity, min_unique=min_unique)
+    size = structure_size(voters)
+    if size <= 1:
+        return None
+
+    fields: Dict[int, RecoveredField] = {}
+    total = 0.0
+    for stream in profile.streams.values():
+        if stream.data_identity != identity:
+            continue
+        total += stream.total_latency
+        if stream.min_address is None:
+            continue
+        offset = field_offset(stream, size)
+        entry = fields.get(offset)
+        if entry is None:
+            entry = RecoveredField(offset=offset)
+            fields[offset] = entry
+        entry.latency += stream.total_latency
+        entry.sample_count += stream.sample_count
+        entry.streams.append(stream)
+    return RecoveredStruct(identity=identity, size=size, fields=fields, total_latency=total)

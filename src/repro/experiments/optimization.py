@@ -1,0 +1,109 @@
+"""Shared runner: the full optimize() cycle over the Table 2 benchmarks.
+
+Tables 3 and 4 are two views of the same seven runs, so the runner
+executes each benchmark once and both table builders render from the
+shared results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.analyzer import OfflineAnalyzer
+from ..core.pipeline import OptimizationResult, optimize
+from ..profiler.monitor import Monitor
+from ..workloads import TABLE2_WORKLOADS
+from .report import Table
+
+#: Paper values for side-by-side reporting: name -> (speedup, overhead %).
+PAPER_TABLE3 = {
+    "179.ART": (1.37, 2.05),
+    "462.libquantum": (1.09, 2.79),
+    "TSP": (1.09, 2.42),
+    "Mser": (1.03, 2.95),
+    "CLOMP 1.2": (1.25, 16.1),
+    "Health": (1.12, 18.3),
+    "NN": (1.33, 5.21),
+}
+
+#: Paper Table 4: name -> (L1, L2, L3) miss reduction percentages.
+PAPER_TABLE4 = {
+    "179.ART": (46.5, 51.1, 5.5),
+    "462.libquantum": (49.0, 82.6, -637.9),
+    "TSP": (13.3, 19.9, 30.7),
+    "Mser": (8.3, 8.4, 36.7),
+    "CLOMP 1.2": (15.5, 26.4, -2.3),
+    "Health": (66.7, 90.8, -35.8),
+    "NN": (87.2, 98.0, 9.3),
+}
+
+
+def run_benchmark(
+    name: str,
+    *,
+    scale: float = 1.0,
+    analyzer: Optional[OfflineAnalyzer] = None,
+) -> OptimizationResult:
+    """One benchmark through the full profile->advise->split cycle."""
+    workload = TABLE2_WORKLOADS[name](scale=scale)
+    monitor = Monitor(sampling_period=workload.recommended_period)
+    return optimize(workload, monitor=monitor, analyzer=analyzer)
+
+
+def run_all(
+    *,
+    scale: float = 1.0,
+    names: Optional[List[str]] = None,
+) -> Dict[str, OptimizationResult]:
+    """All (or the named subset of) Table 2 benchmarks."""
+    chosen = names if names is not None else list(TABLE2_WORKLOADS)
+    return {name: run_benchmark(name, scale=scale) for name in chosen}
+
+
+def table3(results: Dict[str, OptimizationResult]) -> Table:
+    """Table 3: speedups and measurement overhead, with paper columns."""
+    table = Table(
+        "Table 3: speedups after structure splitting + monitoring overhead",
+        ["benchmark", "speedup", "paper speedup", "overhead %", "paper overhead %"],
+        note="simulated cycles; paper values from Roy & Liu, CGO'16",
+    )
+    speedups: List[float] = []
+    overheads: List[float] = []
+    for name, result in results.items():
+        p_speedup, p_overhead = PAPER_TABLE3.get(name, (float("nan"),) * 2)
+        table.add_row(
+            name, result.speedup, p_speedup, result.overhead_percent, p_overhead
+        )
+        speedups.append(result.speedup)
+        overheads.append(result.overhead_percent)
+    if speedups:
+        table.add_row(
+            "average",
+            sum(speedups) / len(speedups),
+            1.18,
+            sum(overheads) / len(overheads),
+            7.1,
+        )
+    return table
+
+
+def table4(results: Dict[str, OptimizationResult]) -> Table:
+    """Table 4: per-level cache-miss reductions, with paper columns."""
+    table = Table(
+        "Table 4: cache-miss reduction after structure splitting",
+        ["benchmark", "L1 %", "L2 %", "L3 %", "paper L1", "paper L2", "paper L3"],
+        note="negative = more misses (noise on near-zero baselines)",
+    )
+    for name, result in results.items():
+        reductions = result.miss_reduction
+        paper = PAPER_TABLE4.get(name, (float("nan"),) * 3)
+        table.add_row(
+            name,
+            reductions["L1"],
+            reductions["L2"],
+            reductions["L3"],
+            paper[0],
+            paper[1],
+            paper[2],
+        )
+    return table

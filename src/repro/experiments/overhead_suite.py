@@ -1,0 +1,81 @@
+"""Figures 4 and 5: monitoring overhead across Rodinia and SPEC CPU 2006.
+
+Each suite kernel runs twice conceptually — plain and monitored — but
+since sampling does not perturb the simulation, one simulated run plus
+the overhead cost model gives both, like the paper's three-run averages
+give its percentages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..profiler.monitor import Monitor
+from ..workloads.suites import KernelSpec, suite_by_name
+from .report import Table, bar_chart
+
+#: Paper-reported suite averages.
+PAPER_AVERAGES = {"rodinia": 8.2, "spec": 4.2}
+
+
+@dataclass
+class SuiteOverheads:
+    """Per-benchmark overhead results for one suite."""
+
+    suite: str
+    rows: List[Tuple[str, float]]
+
+    @property
+    def average(self) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(v for _, v in self.rows) / len(self.rows)
+
+    def table(self) -> Table:
+        table = Table(
+            f"Figure {'4' if self.suite == 'rodinia' else '5'}: "
+            f"StructSlim overhead on {self.suite}",
+            ["benchmark", "overhead %"],
+            note=f"paper average {PAPER_AVERAGES[self.suite]}%",
+        )
+        for name, value in self.rows:
+            table.add_row(name, value)
+        table.add_row("average", self.average)
+        return table
+
+    def chart(self) -> str:
+        labels = [name for name, _ in self.rows] + ["AVERAGE"]
+        values = [v for _, v in self.rows] + [self.average]
+        return bar_chart(
+            f"monitoring overhead: {self.suite}",
+            labels,
+            values,
+            reference=PAPER_AVERAGES[self.suite],
+        )
+
+
+def run_suite_overheads(
+    suite: str,
+    *,
+    sampling_period: int = 499,
+    limit: int = 0,
+) -> SuiteOverheads:
+    """Monitor every kernel in ``suite`` and collect its overhead.
+
+    ``limit`` > 0 monitors only the first N kernels (for quick tests).
+    """
+    kernels = suite_by_name(suite)
+    if limit:
+        kernels = kernels[:limit]
+    rows: List[Tuple[str, float]] = []
+    for spec in kernels:
+        rows.append((spec.name, kernel_overhead(spec, sampling_period)))
+    return SuiteOverheads(suite=suite, rows=rows)
+
+
+def kernel_overhead(spec: KernelSpec, sampling_period: int = 499) -> float:
+    """Modelled monitoring overhead (%) for one suite kernel."""
+    monitor = Monitor(sampling_period=sampling_period)
+    run = monitor.run(spec.build(), num_threads=spec.threads)
+    return run.overhead_percent

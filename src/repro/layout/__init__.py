@@ -1,0 +1,74 @@
+"""C-ABI data layout substrate: types, structures, arrays, splitting.
+
+This package answers "where does each byte of each field live", the
+ground truth StructSlim's analyses must recover from sparse address
+samples.
+"""
+
+from .address_space import HEAP_BASE, STATIC_BASE, AddressSpace, Allocation
+from .arrays import ArrayOfStructs
+from .splitting import (
+    SplitLayout,
+    SplitPlan,
+    apply_split,
+    identity_plan,
+    maximal_plan,
+)
+from .struct import Field, FieldLatencyProfile, StructType, subset_struct
+from .types import (
+    BOOL,
+    CHAR,
+    COMPLEX_FLOAT,
+    DOUBLE,
+    FLOAT,
+    IDX_T,
+    INT,
+    LONG,
+    LONG_LONG,
+    MAX_UNSIGNED,
+    POINTER,
+    SHORT,
+    SIZE_T,
+    UNSIGNED,
+    UNSIGNED_LONG,
+    PrimitiveType,
+    align_up,
+    array_of,
+    primitive,
+)
+
+__all__ = [
+    "AddressSpace",
+    "Allocation",
+    "ArrayOfStructs",
+    "Field",
+    "FieldLatencyProfile",
+    "HEAP_BASE",
+    "STATIC_BASE",
+    "SplitLayout",
+    "SplitPlan",
+    "StructType",
+    "PrimitiveType",
+    "align_up",
+    "apply_split",
+    "array_of",
+    "identity_plan",
+    "maximal_plan",
+    "primitive",
+    "subset_struct",
+    "BOOL",
+    "CHAR",
+    "COMPLEX_FLOAT",
+    "DOUBLE",
+    "FLOAT",
+    "IDX_T",
+    "INT",
+    "LONG",
+    "LONG_LONG",
+    "MAX_UNSIGNED",
+    "POINTER",
+    "SHORT",
+    "SIZE_T",
+    "UNSIGNED",
+    "UNSIGNED_LONG",
+]

@@ -1,0 +1,102 @@
+"""Array-of-structure addressing.
+
+An :class:`ArrayOfStructs` binds a :class:`~repro.layout.struct.StructType`
+to an allocation and answers the two address queries everything else is
+built on: "what is the address of ``arr[i].f``?" (used by the
+interpreter to emit traces) and "which element/field does this address
+fall in?" (used by tests and by the oracle that validates StructSlim's
+offset recovery).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .address_space import Allocation, AddressSpace
+from .struct import Field, StructType
+
+
+class ArrayOfStructs:
+    """A contiguous array whose elements are a structure type."""
+
+    def __init__(self, struct: StructType, count: int, allocation: Allocation) -> None:
+        if count <= 0:
+            raise ValueError("array count must be positive")
+        needed = struct.size * count
+        if allocation.size < needed:
+            raise ValueError(
+                f"allocation {allocation.name!r} holds {allocation.size} bytes, "
+                f"but {count} x {struct.name} needs {needed}"
+            )
+        self.struct = struct
+        self.count = count
+        self.allocation = allocation
+
+    @classmethod
+    def allocate(
+        cls,
+        space: AddressSpace,
+        struct: StructType,
+        count: int,
+        *,
+        name: Optional[str] = None,
+        segment: str = "heap",
+        call_path: Tuple[str, ...] = (),
+    ) -> "ArrayOfStructs":
+        """Allocate backing storage in ``space`` and wrap it."""
+        alloc = space.allocate(
+            name or struct.name,
+            struct.size * count,
+            align=max(64, struct.align),
+            segment=segment,
+            call_path=call_path,
+        )
+        return cls(struct, count, alloc)
+
+    @property
+    def base(self) -> int:
+        return self.allocation.base
+
+    @property
+    def stride(self) -> int:
+        """Distance in bytes between the same field of adjacent elements."""
+        return self.struct.size
+
+    @property
+    def size_bytes(self) -> int:
+        return self.struct.size * self.count
+
+    def _check_index(self, index: int) -> None:
+        if index < 0 or index >= self.count:
+            raise ValueError(
+                f"index {index} out of range [0, {self.count}) for "
+                f"{self.allocation.name!r}"
+            )
+
+    def element_address(self, index: int) -> int:
+        """Address of ``arr[index]``."""
+        self._check_index(index)
+        return self.base + index * self.struct.size
+
+    def field_address(self, index: int, field_name: str) -> int:
+        """Address of ``arr[index].field_name``."""
+        self._check_index(index)
+        return self.base + index * self.struct.size + self.struct.offset_of(field_name)
+
+    def locate(self, address: int) -> Tuple[int, Optional[Field]]:
+        """Map an address back to ``(element_index, field_or_None)``.
+
+        Raises ValueError if the address is outside the array. A None
+        field means the address landed in padding.
+        """
+        rel = address - self.base
+        if rel < 0 or rel >= self.size_bytes:
+            raise ValueError(f"address {address:#x} outside array {self.allocation.name!r}")
+        index, offset = divmod(rel, self.struct.size)
+        return index, self.struct.field_at_offset(offset)
+
+    def __repr__(self) -> str:
+        return (
+            f"ArrayOfStructs({self.struct.name}[{self.count}] "
+            f"@ {self.base:#x}, stride={self.stride})"
+        )

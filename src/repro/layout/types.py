@@ -1,0 +1,103 @@
+"""Primitive type definitions following the System V x86-64 ABI.
+
+The layout substrate models C data layout precisely enough that the
+addresses our interpreter emits match what a compiled binary would emit:
+structure splitting advice is only meaningful if field offsets, padding,
+and array strides follow the real ABI rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PrimitiveType:
+    """A scalar C type with a fixed size and alignment.
+
+    Sizes and alignments follow the System V x86-64 ABI, the platform
+    the paper evaluates on (Intel Xeon E5-4650L).
+    """
+
+    name: str
+    size: int
+    align: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"type {self.name!r} must have positive size")
+        if self.align <= 0 or (self.align & (self.align - 1)) != 0:
+            raise ValueError(f"type {self.name!r} alignment must be a power of two")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# The standard C scalar types on x86-64.
+CHAR = PrimitiveType("char", 1, 1)
+BOOL = PrimitiveType("bool", 1, 1)
+SHORT = PrimitiveType("short", 2, 2)
+INT = PrimitiveType("int", 4, 4)
+UNSIGNED = PrimitiveType("unsigned", 4, 4)
+LONG = PrimitiveType("long", 8, 8)
+UNSIGNED_LONG = PrimitiveType("unsigned long", 8, 8)
+LONG_LONG = PrimitiveType("long long", 8, 8)
+FLOAT = PrimitiveType("float", 4, 4)
+DOUBLE = PrimitiveType("double", 8, 8)
+POINTER = PrimitiveType("void*", 8, 8)
+SIZE_T = PrimitiveType("size_t", 8, 8)
+IDX_T = PrimitiveType("idx_t", 4, 4)
+# libquantum's COMPLEX_FLOAT is `float _Complex` (two floats).
+COMPLEX_FLOAT = PrimitiveType("COMPLEX_FLOAT", 8, 4)
+# libquantum's MAX_UNSIGNED is `unsigned long long`.
+MAX_UNSIGNED = PrimitiveType("MAX_UNSIGNED", 8, 8)
+
+
+_BY_NAME = {
+    t.name: t
+    for t in (
+        CHAR,
+        BOOL,
+        SHORT,
+        INT,
+        UNSIGNED,
+        LONG,
+        UNSIGNED_LONG,
+        LONG_LONG,
+        FLOAT,
+        DOUBLE,
+        POINTER,
+        SIZE_T,
+        IDX_T,
+        COMPLEX_FLOAT,
+        MAX_UNSIGNED,
+    )
+}
+
+
+def primitive(name: str) -> PrimitiveType:
+    """Look up a built-in primitive type by its C spelling."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown primitive type {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def array_of(element: PrimitiveType, count: int) -> PrimitiveType:
+    """An inline fixed-size array member, e.g. ``char entry[256]``.
+
+    Arrays inherit the element alignment; their size is element size
+    times the count (C arrays have no internal padding).
+    """
+    if count <= 0:
+        raise ValueError("array count must be positive")
+    return PrimitiveType(f"{element.name}[{count}]", element.size * count, element.align)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    if alignment <= 0 or (alignment & (alignment - 1)) != 0:
+        raise ValueError("alignment must be a positive power of two")
+    return (value + alignment - 1) & ~(alignment - 1)

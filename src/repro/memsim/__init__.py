@@ -1,0 +1,28 @@
+"""Memory-hierarchy simulator: the source of every latency StructSlim sees."""
+
+from .cache import SetAssociativeCache
+from .coherence import CoherenceStats, MESIDirectory
+from .engine import CostModel, Observer, simulate
+from .hierarchy import HierarchyConfig, LevelConfig, MemoryHierarchy
+from .prefetch import StreamPrefetcher
+from .tlb import DataTLB, TLBConfig
+from .stats import RunMetrics, miss_reduction, overhead_percent, speedup
+
+__all__ = [
+    "CoherenceStats",
+    "CostModel",
+    "MESIDirectory",
+    "HierarchyConfig",
+    "LevelConfig",
+    "MemoryHierarchy",
+    "Observer",
+    "RunMetrics",
+    "SetAssociativeCache",
+    "StreamPrefetcher",
+    "DataTLB",
+    "TLBConfig",
+    "miss_reduction",
+    "overhead_percent",
+    "simulate",
+    "speedup",
+]

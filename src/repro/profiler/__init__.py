@@ -1,0 +1,26 @@
+"""The online profiler runtime: attribution, per-thread profiles, merging."""
+
+from .allocation import DataObject, DataObjectRegistry
+from .collector import ProfileCollector
+from .merge import MERGED_THREAD, merge_pair, reduction_tree_merge
+from .monitor import Monitor, ProfiledRun
+from .multiprocess import MultiProcessRun, profile_processes
+from .online import StreamKey, StreamState
+from .profile import DataIdentity, ThreadProfile
+
+__all__ = [
+    "DataIdentity",
+    "DataObject",
+    "DataObjectRegistry",
+    "MERGED_THREAD",
+    "Monitor",
+    "MultiProcessRun",
+    "ProfileCollector",
+    "ProfiledRun",
+    "StreamKey",
+    "StreamState",
+    "ThreadProfile",
+    "merge_pair",
+    "profile_processes",
+    "reduction_tree_merge",
+]

@@ -1,0 +1,75 @@
+"""Reduction-tree merge of per-thread profiles.
+
+The offline analyzer merges per-thread profiles pairwise along a
+balanced binary tree (Tallent et al. [30]), which is how the paper
+keeps merging fast when "the number of threads and processes is huge".
+The merge is associative and commutative, so the tree shape cannot
+change the result — a property the test suite checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .online import StreamKey, StreamState
+from .profile import ThreadProfile
+
+#: Thread id used for merged (whole-program) profiles.
+MERGED_THREAD = -1
+
+
+def merge_pair(a: ThreadProfile, b: ThreadProfile) -> ThreadProfile:
+    """Merge two profiles into a new whole-program profile."""
+    merged = ThreadProfile(thread=MERGED_THREAD, program=a.program or b.program)
+    merged.total_latency = a.total_latency + b.total_latency
+    merged.unattributed_latency = a.unattributed_latency + b.unattributed_latency
+    merged.sample_count = a.sample_count + b.sample_count
+
+    for source in (a, b):
+        for identity, latency in source.data_latency.items():
+            merged.add_data_latency(identity, latency)
+
+    keys = set(a.streams) | set(b.streams)
+    for key in keys:
+        in_a = a.streams.get(key)
+        in_b = b.streams.get(key)
+        if in_a is not None and in_b is not None:
+            merged.streams[key] = in_a.merged_with(in_b)
+        else:
+            merged.streams[key] = _copy_stream(in_a or in_b)  # type: ignore[arg-type]
+    return merged
+
+
+def _copy_stream(state: StreamState) -> StreamState:
+    copy = StreamState(
+        key=state.key,
+        line=state.line,
+        loop_id=state.loop_id,
+        data_base=state.data_base,
+    )
+    copy.stride = state.stride
+    copy.min_address = state.min_address
+    copy.last_unique_address = None
+    copy.unique_addresses = state.unique_addresses
+    copy.sample_count = state.sample_count
+    copy.total_latency = state.total_latency
+    copy.write_samples = state.write_samples
+    copy.source_counts = dict(state.source_counts)
+    return copy
+
+
+def reduction_tree_merge(profiles: Sequence[ThreadProfile]) -> ThreadProfile:
+    """Merge any number of profiles pairwise, level by level."""
+    if not profiles:
+        raise ValueError("no profiles to merge")
+    level: List[ThreadProfile] = list(profiles)
+    if len(level) == 1:
+        return merge_pair(level[0], ThreadProfile(thread=MERGED_THREAD))
+    while len(level) > 1:
+        next_level: List[ThreadProfile] = []
+        for i in range(0, len(level) - 1, 2):
+            next_level.append(merge_pair(level[i], level[i + 1]))
+        if len(level) % 2 == 1:
+            next_level.append(level[-1])
+        level = next_level
+    return level[0]

@@ -1,0 +1,66 @@
+"""Workload IR, builder, and interpreter — the 'binary execution' substrate."""
+
+from .builder import BoundProgram, LayoutBinding, WorkloadBuilder
+from .context import ROOT_CONTEXT, ContextTable
+from .dsl import DslError, parse_workload
+from .interp import Interpreter, TraceError, run, trace_stats
+from .ir import (
+    IP_STRIDE,
+    TEXT_BASE,
+    Access,
+    Affine,
+    Call,
+    Compute,
+    Const,
+    Function,
+    IndexExpr,
+    Indirect,
+    Loop,
+    Mod,
+    Program,
+    Stmt,
+    affine,
+)
+from .trace import (
+    ComputeBurst,
+    MemoryAccess,
+    TraceItem,
+    collect,
+    count_accesses,
+    memory_accesses,
+)
+
+__all__ = [
+    "Access",
+    "Affine",
+    "BoundProgram",
+    "Call",
+    "Compute",
+    "ComputeBurst",
+    "Const",
+    "ContextTable",
+    "DslError",
+    "Function",
+    "IP_STRIDE",
+    "IndexExpr",
+    "Indirect",
+    "Interpreter",
+    "LayoutBinding",
+    "Loop",
+    "MemoryAccess",
+    "Mod",
+    "Program",
+    "ROOT_CONTEXT",
+    "Stmt",
+    "TEXT_BASE",
+    "TraceError",
+    "TraceItem",
+    "WorkloadBuilder",
+    "affine",
+    "collect",
+    "count_accesses",
+    "memory_accesses",
+    "parse_workload",
+    "run",
+    "trace_stats",
+]

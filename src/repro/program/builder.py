@@ -1,0 +1,186 @@
+"""Workload assembly: bind IR array names to concrete memory layouts.
+
+A workload's *program* (loops and the fields they touch) is fixed; what
+changes between the original and the split run is only where each field
+lives. :class:`LayoutBinding` routes ``(array, field)`` references to
+concrete :class:`ArrayOfStructs` instances, so the same IR runs
+unmodified against both layouts — exactly the property that makes
+before/after speedup comparisons fair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..layout import (
+    AddressSpace,
+    ArrayOfStructs,
+    PrimitiveType,
+    SplitLayout,
+    StructType,
+)
+from .ir import Function, Program
+
+
+class LayoutBinding:
+    """Maps IR ``(array, field)`` references to concrete arrays."""
+
+    def __init__(self) -> None:
+        self._routes: Dict[Tuple[str, Optional[str]], Tuple[ArrayOfStructs, str]] = {}
+        self._arrays: Dict[str, List[ArrayOfStructs]] = {}
+
+    def bind_array(self, name: str, aos: ArrayOfStructs) -> None:
+        """Route every field of ``name`` to the single array ``aos``."""
+        for f in aos.struct.fields:
+            self._routes[(name, f.name)] = (aos, f.name)
+        if len(aos.struct.fields) == 1:
+            only = aos.struct.fields[0].name
+            self._routes[(name, None)] = (aos, only)
+        self._arrays.setdefault(name, []).append(aos)
+
+    def bind_field(self, name: str, field: str, aos: ArrayOfStructs) -> None:
+        """Route one field of logical array ``name`` to ``aos``."""
+        aos.struct.field(field)  # validate the target holds this field
+        self._routes[(name, field)] = (aos, field)
+        backing = self._arrays.setdefault(name, [])
+        if aos not in backing:
+            backing.append(aos)
+
+    def bind_alias(self, name: str, aos: ArrayOfStructs, field: str) -> None:
+        """Route a *scalar* logical array onto one field of an AoS.
+
+        This is the array-regrouping transform's binding: IR that says
+        ``ax[i]`` (a standalone array) executes against field ``x`` of
+        an interleaved array-of-structs instead.
+        """
+        aos.struct.field(field)  # validate
+        self._routes[(name, None)] = (aos, field)
+        backing = self._arrays.setdefault(name, [])
+        if aos not in backing:
+            backing.append(aos)
+
+    def resolve(self, name: str, field: Optional[str]) -> Tuple[ArrayOfStructs, str]:
+        try:
+            return self._routes[(name, field)]
+        except KeyError:
+            raise KeyError(
+                f"no binding for array {name!r} field {field!r}; "
+                f"bound arrays: {sorted(self._arrays)}"
+            ) from None
+
+    def backing_arrays(self, name: str) -> Tuple[ArrayOfStructs, ...]:
+        return tuple(self._arrays.get(name, ()))
+
+    def logical_arrays(self) -> Tuple[str, ...]:
+        return tuple(self._arrays)
+
+
+@dataclass
+class BoundProgram:
+    """A finalized program plus the memory layout it runs against."""
+
+    program: Program
+    bindings: LayoutBinding
+    space: AddressSpace
+    variant: str = "original"
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+    def validate(self) -> None:
+        """Check every IR access has a binding; raise KeyError otherwise."""
+        for acc in self.program.accesses():
+            self.bindings.resolve(acc.array, acc.field)
+
+
+class WorkloadBuilder:
+    """Fluent assembly of a :class:`BoundProgram`.
+
+    Typical use::
+
+        b = WorkloadBuilder("art")
+        neurons = b.add_aos(F1_NEURON, count=10000, name="f1_layer",
+                            call_path=("main", "init"))
+        prog = b.build([Function("main", body)])
+    """
+
+    def __init__(self, name: str, *, variant: str = "original") -> None:
+        self.name = name
+        self.variant = variant
+        self.space = AddressSpace()
+        self.bindings = LayoutBinding()
+
+    def add_aos(
+        self,
+        struct: StructType,
+        count: int,
+        *,
+        name: Optional[str] = None,
+        segment: str = "heap",
+        call_path: Tuple[str, ...] = (),
+    ) -> ArrayOfStructs:
+        """Allocate an array-of-structs and bind it under ``name``."""
+        array_name = name or struct.name
+        aos = ArrayOfStructs.allocate(
+            self.space,
+            struct,
+            count,
+            name=array_name,
+            segment=segment,
+            call_path=call_path,
+        )
+        self.bindings.bind_array(array_name, aos)
+        return aos
+
+    def add_scalar(
+        self,
+        name: str,
+        elem_type: PrimitiveType,
+        count: int,
+        *,
+        segment: str = "heap",
+        call_path: Tuple[str, ...] = (),
+    ) -> ArrayOfStructs:
+        """Allocate a plain array (modelled as a one-field struct)."""
+        struct = StructType(name, [("val", elem_type)])
+        return self.add_aos(
+            struct, count, name=name, segment=segment, call_path=call_path
+        )
+
+    def add_split_aos(
+        self,
+        layout: SplitLayout,
+        count: int,
+        *,
+        name: Optional[str] = None,
+        segment: str = "heap",
+        call_path: Tuple[str, ...] = (),
+    ) -> List[ArrayOfStructs]:
+        """Allocate one array per split group and bind the original name.
+
+        IR accesses still say ``(original_array, field)``; the binding
+        routes each field to the split array that now owns it.
+        """
+        array_name = name or layout.original.name
+        arrays: List[ArrayOfStructs] = []
+        for gi, st in enumerate(layout.structs):
+            aos = ArrayOfStructs.allocate(
+                self.space,
+                st,
+                count,
+                name=f"{array_name}#{gi}",
+                segment=segment,
+                call_path=call_path + (f"split:{st.name}",),
+            )
+            arrays.append(aos)
+            for f in st.fields:
+                self.bindings.bind_field(array_name, f.name, aos)
+        return arrays
+
+    def build(self, functions: Sequence[Function], entry: str = "main") -> BoundProgram:
+        program = Program(self.name, functions, entry=entry).finalize()
+        bound = BoundProgram(program, self.bindings, self.space, variant=self.variant)
+        bound.validate()
+        return bound

@@ -1,0 +1,46 @@
+"""Calling-context interning.
+
+StructSlim's stream assumption is per *instruction in a calling
+context*: the same instruction reached through two different call paths
+may access two different fields/objects and must form distinct streams.
+The interpreter therefore stamps every access with a context id; this
+table interns the (caller chain) tuples so the id is a small int.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: The root context: code executed directly from the program entry.
+ROOT_CONTEXT = 0
+
+
+class ContextTable:
+    """Interns call paths (tuples of call-site IPs) to dense ids."""
+
+    def __init__(self) -> None:
+        self._paths: List[Tuple[int, ...]] = [()]
+        self._ids: Dict[Tuple[int, ...], int] = {(): ROOT_CONTEXT}
+
+    def intern(self, path: Tuple[int, ...]) -> int:
+        """Return the id for ``path``, creating one if needed."""
+        ctx = self._ids.get(path)
+        if ctx is None:
+            ctx = len(self._paths)
+            self._paths.append(path)
+            self._ids[path] = ctx
+        return ctx
+
+    def extend(self, parent: int, call_site_ip: int) -> int:
+        """The context reached by calling from ``call_site_ip`` in ``parent``."""
+        return self.intern(self.path(parent) + (call_site_ip,))
+
+    def path(self, context: int) -> Tuple[int, ...]:
+        """The call-site IP chain for a context id."""
+        return self._paths[context]
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __contains__(self, context: object) -> bool:
+        return isinstance(context, int) and 0 <= context < len(self._paths)

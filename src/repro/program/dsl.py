@@ -1,0 +1,259 @@
+"""A compact text DSL for defining workloads.
+
+Writing IR by hand is verbose; the DSL covers the shapes that matter
+for structure-splitting studies in a few lines::
+
+    struct node { int parent; int shortcut; int region; int area; }
+
+    array forest: node[32768] @ main/mser
+    scalar img: int[65536]
+
+    loop 679-683 x4 compute 20:
+        read forest.parent[i]
+
+    loop 300 x8 parallel:
+        read img[2*i]
+        write img[2*i+1]
+
+Grammar (line-oriented; ``#`` starts a comment):
+
+- ``struct NAME { TYPE FIELD; ... }`` — one line, C-style members.
+- ``array NAME: STRUCT[COUNT] [@ call/path]`` — an array-of-structs.
+- ``scalar NAME: TYPE[COUNT] [@ call/path]`` — a plain array.
+- ``loop LINE[-ENDLINE] [xREPS] [parallel] [compute CYCLES]:`` followed
+  by indented body lines ``read|write ARRAY[.FIELD][INDEX]`` where
+  INDEX is an affine expression over ``i``: ``i``, ``i+3``, ``2*i``,
+  ``2*i+1``, or a constant.
+
+``parse_workload`` returns a :class:`~repro.program.builder.BoundProgram`
+ready for the Monitor.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..layout.struct import StructType
+from ..layout.types import primitive
+from .builder import BoundProgram, WorkloadBuilder
+from .ir import Access, Affine, Compute, Const, Function, IndexExpr, Loop
+
+
+class DslError(ValueError):
+    """A syntax or semantic error in the workload text."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+_STRUCT_RE = re.compile(r"^struct\s+(\w+)\s*\{(.*)\}$")
+_ARRAY_RE = re.compile(
+    r"^(array|scalar)\s+(\w+)\s*:\s*([\w \*\[\]]+?)\s*\[(\d+)\]\s*(?:@\s*(\S+))?$"
+)
+_LOOP_RE = re.compile(
+    r"^loop\s+(\d+)(?:-(\d+))?"
+    r"(?:\s+x(\d+))?"
+    r"(?P<flags>(?:\s+(?:parallel|compute\s+[\d.]+))*)\s*:$"
+)
+_ACCESS_RE = re.compile(
+    r"^(read|write)\s+(\w+)(?:\.(\w+))?\s*\[([^\]]+)\]$"
+)
+_INDEX_RE = re.compile(
+    r"^\s*(?:(\d+)\s*\*\s*)?(i)?\s*(?:([+-])\s*(\d+))?\s*$"
+)
+
+
+def _parse_index(text: str, line_no: int) -> IndexExpr:
+    stripped = text.strip()
+    if stripped.isdigit():
+        return Const(int(stripped))
+    match = _INDEX_RE.match(text)
+    if not match or match.group(2) is None:
+        raise DslError(line_no, f"cannot parse index expression {text!r}")
+    scale_text, _, sign, offset_text = match.groups()
+    offset = int(offset_text) if offset_text else 0
+    if sign == "-":
+        offset = -offset
+    scale = int(scale_text) if scale_text else 1
+    return Affine("i", scale, offset)
+
+
+def _parse_struct(line: str, line_no: int) -> StructType:
+    match = _STRUCT_RE.match(line)
+    assert match is not None
+    name, body = match.groups()
+    fields: List[Tuple[str, object]] = []
+    for member in body.split(";"):
+        member = member.strip()
+        if not member:
+            continue
+        parts = member.rsplit(" ", 1)
+        if len(parts) != 2:
+            raise DslError(line_no, f"bad struct member {member!r}")
+        type_name, field_name = parts[0].strip(), parts[1].strip()
+        try:
+            fields.append((field_name, primitive(type_name)))
+        except KeyError as exc:
+            raise DslError(line_no, str(exc)) from None
+    if not fields:
+        raise DslError(line_no, f"struct {name!r} has no members")
+    return StructType(name, fields)  # type: ignore[arg-type]
+
+
+def parse_workload(text: str, *, name: str = "dsl") -> BoundProgram:
+    """Parse DSL ``text`` into a runnable BoundProgram."""
+    builder = WorkloadBuilder(name)
+    structs: Dict[str, StructType] = {}
+    body: List[Loop] = []
+    current_loop: Optional[Loop] = None
+    current_reps: int = 1
+    current_compute: float = 0.0
+
+    # (rep loop, inner loop, compute per iteration): compute bursts are
+    # finalized after trip counts are inferred from the index bounds.
+    pending_compute: List[Tuple[Loop, Loop, float]] = []
+
+    def close_loop() -> None:
+        nonlocal current_loop
+        if current_loop is None:
+            return
+        if not current_loop.body:
+            raise DslError(0, f"loop at line {current_loop.line} has no body")
+        inner = current_loop
+        rep_body: List = [inner]
+        if current_compute > 0:
+            rep_body.insert(0, Compute(line=inner.line, cycles=0.0))
+        rep_loop = Loop(line=inner.line, var=f"r{inner.line}", start=0,
+                        stop=current_reps, body=rep_body,
+                        end_line=inner.end_line)
+        pending_compute.append((rep_loop, inner, current_compute))
+        body.append(rep_loop)
+        current_loop = None
+
+    pending_struct: List[str] = []
+    pending_struct_line = 0
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.split("#", 1)[0].rstrip()
+        if not stripped.strip():
+            continue
+        indented = stripped[0] in " \t"
+        line = stripped.strip()
+
+        # Struct declarations may span lines until the closing brace.
+        if pending_struct:
+            pending_struct.append(line)
+            if "}" not in line:
+                continue
+            struct = _parse_struct(" ".join(pending_struct), pending_struct_line)
+            structs[struct.name] = struct
+            pending_struct = []
+            continue
+        if line.startswith("struct") and "}" not in line:
+            pending_struct = [line]
+            pending_struct_line = line_no
+            continue
+
+        if indented:
+            if current_loop is None:
+                raise DslError(line_no, "access outside any loop")
+            match = _ACCESS_RE.match(line)
+            if not match:
+                raise DslError(line_no, f"cannot parse access {line!r}")
+            op, array, field_name, index_text = match.groups()
+            current_loop.body.append(
+                Access(
+                    line=current_loop.end_line,
+                    array=array,
+                    field=field_name,
+                    index=_parse_index(index_text, line_no),
+                    is_write=(op == "write"),
+                )
+            )
+            continue
+
+        close_loop()
+        if line.startswith("struct"):
+            struct = _parse_struct(line, line_no)
+            structs[struct.name] = struct
+        elif line.startswith(("array", "scalar")):
+            match = _ARRAY_RE.match(line)
+            if not match:
+                raise DslError(line_no, f"cannot parse declaration {line!r}")
+            kind, array_name, type_name, count_text, path = match.groups()
+            count = int(count_text)
+            call_path = tuple(path.split("/")) if path else ()
+            if kind == "array":
+                struct = structs.get(type_name.strip())
+                if struct is None:
+                    raise DslError(line_no, f"unknown struct {type_name!r}")
+                builder.add_aos(struct, count, name=array_name,
+                                call_path=call_path)
+            else:
+                try:
+                    elem = primitive(type_name.strip())
+                except KeyError as exc:
+                    raise DslError(line_no, str(exc)) from None
+                builder.add_scalar(array_name, elem, count,
+                                   call_path=call_path)
+        elif line.startswith("loop"):
+            match = _LOOP_RE.match(line)
+            if not match:
+                raise DslError(line_no, f"cannot parse loop header {line!r}")
+            first, last, reps, flags = (
+                match.group(1), match.group(2), match.group(3),
+                match.group("flags") or "",
+            )
+            current_reps = int(reps) if reps else 1
+            compute_match = re.search(r"compute\s+([\d.]+)", flags)
+            current_compute = float(compute_match.group(1)) if compute_match else 0.0
+            current_loop = Loop(
+                line=int(first),
+                var="i",
+                start=0,
+                stop=-1,  # patched below once the trip count is known
+                body=[],
+                end_line=int(last) if last else int(first),
+                parallel="parallel" in flags,
+            )
+        else:
+            raise DslError(line_no, f"unrecognized statement {line!r}")
+
+    close_loop()
+    if not body:
+        raise DslError(0, "workload has no loops")
+
+    # Patch each loop's trip count to the smallest referenced array so
+    # every index expression stays in bounds, then size compute bursts.
+    for rep_loop, inner, compute in pending_compute:
+        inner.stop = _infer_trip_count(builder, inner)
+        if compute > 0:
+            burst = rep_loop.body[0]
+            assert isinstance(burst, Compute)
+            burst.cycles = compute * inner.trip_count
+    return builder.build([Function("main", list(body), line=1)])
+
+
+def _infer_trip_count(builder: WorkloadBuilder, loop: Loop) -> int:
+    """Largest i such that every access in the loop stays in bounds."""
+    bound = None
+    for stmt in loop.body:
+        if not isinstance(stmt, Access):
+            continue
+        aos, _ = builder.bindings.resolve(stmt.array, stmt.field)
+        index = stmt.index
+        if isinstance(index, Const):
+            continue
+        assert isinstance(index, Affine)
+        # scale*i + offset <= count-1  =>  i <= (count-1-offset)/scale
+        limit = (aos.count - 1 - index.offset) // index.scale + 1
+        bound = limit if bound is None else min(bound, limit)
+    if bound is None:
+        return 1  # only constant indices: a degenerate single-trip loop
+    if bound <= 0:
+        raise DslError(
+            0, f"loop at line {loop.line}: an index is out of bounds even at i=0"
+        )
+    return bound

@@ -1,0 +1,62 @@
+"""Trace event records emitted by the workload interpreter.
+
+A :class:`MemoryAccess` carries exactly the information a real
+execution exposes to the memory system and to the PMU: which thread
+issued it, from which instruction (IP), to which effective address, how
+wide, read or write, and from which source line / calling context. It
+deliberately does *not* carry the field or structure name — recovering
+those from sparse samples is StructSlim's job, and handing them to the
+analysis would be cheating.
+
+``MemoryAccess`` is a NamedTuple rather than a dataclass because the
+interpreter creates millions of them; NamedTuple construction happens
+in C and keeps trace generation fast.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, NamedTuple
+
+
+class MemoryAccess(NamedTuple):
+    """One dynamic memory access."""
+
+    thread: int
+    ip: int
+    address: int
+    size: int
+    is_write: bool
+    line: int
+    context: int  # interned calling-context id (see context.ContextTable)
+
+
+class ComputeBurst(NamedTuple):
+    """A stretch of non-memory work, in CPU cycles.
+
+    The interpreter emits these between memory accesses so the cost
+    model can account for ALU-bound time; the sampler and cache
+    simulator ignore them.
+    """
+
+    thread: int
+    cycles: float
+
+
+TraceItem = object  # MemoryAccess | ComputeBurst
+
+
+def memory_accesses(trace: Iterable[TraceItem]) -> Iterator[MemoryAccess]:
+    """Filter a mixed trace down to its memory accesses."""
+    for item in trace:
+        if isinstance(item, MemoryAccess):
+            yield item
+
+
+def collect(trace: Iterable[TraceItem]) -> List[TraceItem]:
+    """Materialize a trace; convenience for tests on small workloads."""
+    return list(trace)
+
+
+def count_accesses(trace: Iterable[TraceItem]) -> int:
+    """Number of memory accesses in a (possibly mixed) trace."""
+    return sum(1 for _ in memory_accesses(trace))

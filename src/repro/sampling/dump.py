@@ -1,0 +1,59 @@
+"""Raw sample dumps — the reproduction's ``perf.data``.
+
+The real profiler can also persist raw PMU records and attribute them
+later; this module gives the same capability: a newline-delimited JSON
+stream of address samples that replays losslessly into a
+:class:`~repro.profiler.collector.ProfileCollector`. Useful for
+regression-testing the analyzer against captured sample sets without
+re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from .events import AddressSample
+
+#: Format marker written as the first line of every dump.
+DUMP_HEADER = {"format": "repro-address-samples", "version": 1}
+
+
+def save_samples(
+    samples: Iterable[AddressSample], path: Union[str, Path]
+) -> int:
+    """Write samples as JSON lines; returns the number written."""
+    count = 0
+    with open(path, "w") as fh:
+        fh.write(json.dumps(DUMP_HEADER) + "\n")
+        for sample in samples:
+            fh.write(json.dumps(list(sample)) + "\n")
+            count += 1
+    return count
+
+
+def load_samples(path: Union[str, Path]) -> List[AddressSample]:
+    """Read a dump back; raises ValueError on a foreign file."""
+    return list(iter_samples(path))
+
+
+def iter_samples(path: Union[str, Path]) -> Iterator[AddressSample]:
+    """Stream samples from a dump without materializing them."""
+    with open(path) as fh:
+        header_line = fh.readline()
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError:
+            raise ValueError(f"{path}: not a sample dump") from None
+        if not isinstance(header, dict) or header.get("format") != (
+            DUMP_HEADER["format"]
+        ):
+            raise ValueError(f"{path}: not a sample dump")
+        if header.get("version") != DUMP_HEADER["version"]:
+            raise ValueError(
+                f"{path}: unsupported dump version {header.get('version')}"
+            )
+        for line in fh:
+            if line.strip():
+                yield AddressSample(*json.loads(line))

@@ -1,0 +1,38 @@
+"""Address-sample records — what one PMU interrupt delivers.
+
+Per the paper (§2), address sampling captures three things per sampled
+access: the instruction pointer, the effective address, and associated
+memory events; PEBS-LL and IBS additionally report the access latency.
+The sample also carries the thread and the source line/context the
+profiler resolves at interrupt time.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class AddressSample(NamedTuple):
+    """One sampled memory access, as captured by the PMU interrupt handler."""
+
+    seq: int  # index of the access within the whole run (debug aid)
+    thread: int
+    ip: int
+    address: int
+    size: int
+    is_write: bool
+    latency: float
+    line: int
+    context: int
+
+
+def data_source(latency: float, l1: float = 4.0, l2: float = 12.0, l3: float = 42.0) -> str:
+    """Classify a sample's serving level from its latency, like PEBS's
+    data-source encoding. Used for reporting, never for analysis."""
+    if latency <= l1:
+        return "L1"
+    if latency <= l2:
+        return "L2"
+    if latency <= l3:
+        return "L3"
+    return "DRAM"

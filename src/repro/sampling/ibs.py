@@ -1,0 +1,23 @@
+"""AMD Instruction-Based Sampling (IBS) model.
+
+IBS is the other mechanism StructSlim supports (Table 1): it tags every
+Nth *operation* — loads and stores alike — and reports the effective
+address and data-cache latency, with no latency threshold.
+"""
+
+from __future__ import annotations
+
+from .sampler import SamplingEngine
+
+
+class IBSSampler(SamplingEngine):
+    """IBS op sampling: both loads and stores are eligible."""
+
+    def __init__(self, period: int = 10_000, *, jitter: float = 0.1, seed: int = 0):
+        super().__init__(
+            period,
+            jitter=jitter,
+            loads_only=False,
+            min_latency=0.0,
+            seed=seed,
+        )

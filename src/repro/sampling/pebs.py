@@ -1,0 +1,35 @@
+"""Intel PEBS with load latency (PEBS-LL) sampler model.
+
+PEBS-LL is one of the two mechanisms StructSlim builds on (Table 1):
+it samples *loads*, reports the effective address and the measured
+load-to-use latency, and supports a minimum-latency filter (``ldlat``).
+"""
+
+from __future__ import annotations
+
+from .sampler import SamplingEngine
+
+#: The ldlat threshold Linux perf uses by default for PEBS-LL; loads
+#: that hit the L1 fill buffer faster than this are not counted.
+DEFAULT_LDLAT = 3.0
+
+
+class PEBSLoadLatencySampler(SamplingEngine):
+    """PEBS-LL: periodic sampling of loads with latency capture."""
+
+    def __init__(
+        self,
+        period: int = 10_000,
+        *,
+        jitter: float = 0.1,
+        ldlat: float = DEFAULT_LDLAT,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            period,
+            jitter=jitter,
+            loads_only=True,
+            min_latency=ldlat,
+            seed=seed,
+        )
+        self.ldlat = ldlat

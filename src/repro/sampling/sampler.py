@@ -1,0 +1,130 @@
+"""The sampling engine: periodic selection of memory accesses.
+
+Models how PMU address sampling behaves in practice:
+
+- one sample every ``period`` eligible accesses, counted **per thread**
+  (each hardware thread has its own PMU counters; the paper's profiler
+  monitors each thread independently with no synchronization);
+- the period is randomized a little after each sample, as real drivers
+  do, to avoid lock-step aliasing with loop strides;
+- sampling is blind to program structure: it sees (IP, address,
+  latency) and nothing else.
+
+The engine implements the :data:`repro.memsim.engine.Observer` protocol
+so it plugs directly into the simulation driver.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..program.trace import MemoryAccess
+from .events import AddressSample
+
+
+class SamplingEngine:
+    """Periodic per-thread address sampler.
+
+    Parameters
+    ----------
+    period:
+        Mean number of eligible accesses between samples (the paper
+        uses one sample per 10,000 memory accesses).
+    jitter:
+        Fractional randomization of the period after each sample;
+        0.1 means the next period is drawn uniformly from ±10%.
+    loads_only:
+        When true, stores are invisible (PEBS-LL monitors loads).
+    min_latency:
+        Latency threshold in cycles (PEBS-LL's ``ldlat`` filter);
+        accesses faster than this are not eligible.
+    seed:
+        RNG seed; runs are fully deterministic for a given seed.
+    """
+
+    def __init__(
+        self,
+        period: int = 10_000,
+        *,
+        jitter: float = 0.1,
+        loads_only: bool = False,
+        min_latency: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.period = period
+        self.jitter = jitter
+        self.loads_only = loads_only
+        self.min_latency = min_latency
+        self._rng = random.Random(seed)
+        self._countdown: Dict[int, int] = {}
+        self.samples: List[AddressSample] = []
+        self.eligible_accesses = 0
+        self.total_accesses = 0
+
+    def _next_period(self) -> int:
+        if self.jitter == 0.0:
+            return self.period
+        spread = int(self.period * self.jitter)
+        if spread == 0:
+            return self.period
+        return self.period + self._rng.randint(-spread, spread)
+
+    def observe(self, access: MemoryAccess, latency: float) -> None:
+        """Observer hook: called for every access the simulator executes."""
+        self.total_accesses += 1
+        if self.loads_only and access.is_write:
+            return
+        if latency < self.min_latency:
+            return
+        self.eligible_accesses += 1
+        remaining = self._countdown.get(access.thread)
+        if remaining is None:
+            # Stagger each thread's first sample within one period so
+            # threads don't fire in lock-step.
+            remaining = self._rng.randint(1, self.period)
+        remaining -= 1
+        if remaining <= 0:
+            self.samples.append(
+                AddressSample(
+                    seq=self.total_accesses - 1,
+                    thread=access.thread,
+                    ip=access.ip,
+                    address=access.address,
+                    size=access.size,
+                    is_write=access.is_write,
+                    latency=latency,
+                    line=access.line,
+                    context=access.context,
+                )
+            )
+            remaining = self._next_period()
+        self._countdown[access.thread] = remaining
+
+    # -- results ------------------------------------------------------------
+
+    @property
+    def sample_count(self) -> int:
+        return len(self.samples)
+
+    def samples_by_thread(self) -> Dict[int, List[AddressSample]]:
+        result: Dict[int, List[AddressSample]] = {}
+        for s in self.samples:
+            result.setdefault(s.thread, []).append(s)
+        return result
+
+    def sampling_rate(self) -> float:
+        """Achieved samples per eligible access."""
+        if self.eligible_accesses == 0:
+            return 0.0
+        return self.sample_count / self.eligible_accesses
+
+    def reset(self) -> None:
+        self._countdown.clear()
+        self.samples.clear()
+        self.eligible_accesses = 0
+        self.total_accesses = 0

@@ -1,0 +1,64 @@
+"""The paper's benchmarks (Table 2) and suite rosters for Figures 4-5."""
+
+from typing import Callable, Dict, List
+
+from .art import ArtWorkload, F1_NEURON
+from .base import LoopSpec, PaperWorkload, permuted_indices
+from .clomp import ZONE, ClompWorkload
+from .health import PATIENT, HealthWorkload
+from .libquantum import QUANTUM_REG_NODE, LibquantumWorkload
+from .mser import NODE_T, MserWorkload
+from .nn import NEIGHBOR, NnWorkload
+from .regroup import COORDS, RegroupingWorkload
+from .suites import (
+    RODINIA_KERNELS,
+    SPEC_CPU2006_KERNELS,
+    KernelSpec,
+    suite_by_name,
+)
+from .tsp import TREE, TspWorkload
+
+#: Table 2 order. Each entry is a factory taking a scale.
+TABLE2_WORKLOADS: Dict[str, Callable[..., PaperWorkload]] = {
+    "179.ART": ArtWorkload,
+    "462.libquantum": LibquantumWorkload,
+    "TSP": TspWorkload,
+    "Mser": MserWorkload,
+    "CLOMP 1.2": ClompWorkload,
+    "Health": HealthWorkload,
+    "NN": NnWorkload,
+}
+
+
+def all_workloads(scale: float = 1.0) -> List[PaperWorkload]:
+    """Instantiate the seven Table 2 benchmarks at one scale."""
+    return [factory(scale=scale) for factory in TABLE2_WORKLOADS.values()]
+
+
+__all__ = [
+    "ArtWorkload",
+    "ClompWorkload",
+    "F1_NEURON",
+    "HealthWorkload",
+    "KernelSpec",
+    "LibquantumWorkload",
+    "LoopSpec",
+    "MserWorkload",
+    "NEIGHBOR",
+    "NODE_T",
+    "NnWorkload",
+    "PATIENT",
+    "PaperWorkload",
+    "COORDS",
+    "QUANTUM_REG_NODE",
+    "RegroupingWorkload",
+    "RODINIA_KERNELS",
+    "SPEC_CPU2006_KERNELS",
+    "TABLE2_WORKLOADS",
+    "TREE",
+    "TspWorkload",
+    "ZONE",
+    "all_workloads",
+    "suite_by_name",
+    "permuted_indices",
+]

@@ -1,0 +1,86 @@
+"""CLOMP 1.2 (LLNL CORAL) — §6.5.
+
+CLOMP measures OpenMP overheads by having every thread repeatedly walk
+zone lists. The ``_Zone`` structure mixes the hot per-zone payload
+(``value``, ``nextZone``) with cold bookkeeping (``zoneId``,
+``partId``); the single hot loop (line 328-337, all four threads)
+carries *all* of the array's latency, split 44.7%/55.3% between value
+and nextZone. The paper's split (Figure 11) keeps the two hot fields
+together and moves the header fields behind a pointer, for 1.25x.
+CLOMP is memory-bandwidth-bound, so its monitoring overhead (16.1%) is
+dominated by the parallel interrupt penalty.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..layout.splitting import SplitPlan
+from ..layout.struct import StructType
+from ..layout.types import DOUBLE, LONG, POINTER
+from ..program.builder import WorkloadBuilder
+from ..program.ir import Function
+from .base import LoopSpec, PaperWorkload
+from .common import field_sweep, scalar_sweep
+
+ZONE = StructType(
+    "_Zone",
+    [
+        ("zoneId", LONG),
+        ("partId", LONG),
+        ("value", DOUBLE),
+        ("nextZone", POINTER),
+    ],
+)
+
+#: CLOMP does almost no ALU work per zone — that is its design point.
+WORK = 14.0
+
+
+class ClompWorkload(PaperWorkload):
+    """LLNL CLOMP OpenMP stress benchmark (4 threads)."""
+
+    name = "CLOMP 1.2"
+    num_threads = 4
+    recommended_period = 487
+
+    #: 49152 zones * 32B = 1.5MB: each thread's 384KB part overflows its
+    #: private L2 in the original layout but fits once split, at scale 1.
+    BASE_ZONES = 49152
+
+    def target_structs(self) -> Dict[str, StructType]:
+        return {"zones": ZONE}
+
+    def paper_plans(self) -> Dict[str, SplitPlan]:
+        return {
+            "zones": SplitPlan(
+                ZONE.name, (("value", "nextZone"), ("zoneId", "partId"))
+            )
+        }
+
+    def _populate(
+        self, builder: WorkloadBuilder, plans: Dict[str, SplitPlan]
+    ) -> List[Function]:
+        n = self.scaled(self.BASE_ZONES, minimum=64)
+        self.register_struct_array(
+            builder, ZONE, n, "zones", plans, call_path=("main", "create_zones")
+        )
+        builder.add_scalar("part_deposits", DOUBLE, n, call_path=("main",))
+
+        body = [
+            # The one hot loop: every thread walks its part's zone list,
+            # reading the link then accumulating the value. Same-element
+            # access (no stagger) models the dependent chain: nextZone
+            # takes the miss, value mostly hits the same line.
+            field_sweep(
+                LoopSpec(lines=(328, 337), fields=("nextZone", "value"),
+                         repetitions=8, compute_cycles=2 * WORK),
+                "zones",
+                n,
+                stagger=False,
+                parallel=True,
+            ),
+            # Per-part deposit updates: the remaining ~11% of latency.
+            scalar_sweep(400, "part_deposits", n, 2, compute_cycles=WORK),
+        ]
+        return [Function("main", body, line=300)]

@@ -1,0 +1,108 @@
+"""Health (Barcelona OpenMP Task Suite) — §6.6.
+
+The Colombian health-care simulation threads ``Patient`` records
+through per-village waiting lists; the simulation's hot loop (line 96)
+walks the ``forward`` links while the other seven fields are touched
+only during admissions and transfers. The paper attributes 95.2% of
+latency to Patient, finds ``forward`` has low affinity with every other
+field, and splits it out (Figure 12) for a 1.12x speedup. As a
+task-parallel program, Health shows the highest monitoring overhead in
+Table 3 (18.3%).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..layout.splitting import SplitPlan
+from ..layout.struct import StructType
+from ..layout.types import INT, LONG, POINTER
+from ..program.builder import WorkloadBuilder
+from ..program.ir import Function
+from .base import LoopSpec, PaperWorkload, permuted_indices
+from .common import chase_pass, field_sweep, scalar_sweep
+
+PATIENT = StructType(
+    "Patient",
+    [
+        ("id", INT),
+        ("seed", LONG),
+        ("time", INT),
+        ("time_left", INT),
+        ("hosps_visited", INT),
+        ("forward", POINTER),
+        ("back", POINTER),
+        ("dead", INT),
+    ],
+)
+
+#: Per-visit simulation arithmetic (random draws, time bookkeeping).
+WORK = 90.0
+
+
+class HealthWorkload(PaperWorkload):
+    """BOTS Health task-parallel simulation (4 threads)."""
+
+    name = "Health"
+    num_threads = 4
+    recommended_period = 491
+
+    #: 65536 patients * 56B = 3.5MB of records at scale 1.
+    BASE_PATIENTS = 65536
+
+    def target_structs(self) -> Dict[str, StructType]:
+        return {"patients": PATIENT}
+
+    def paper_plans(self) -> Dict[str, SplitPlan]:
+        return {
+            "patients": SplitPlan(
+                PATIENT.name,
+                (
+                    ("forward",),
+                    ("id", "seed", "time", "time_left", "hosps_visited",
+                     "back", "dead"),
+                ),
+            )
+        }
+
+    def _populate(
+        self, builder: WorkloadBuilder, plans: Dict[str, SplitPlan]
+    ) -> List[Function]:
+        n = self.scaled(self.BASE_PATIENTS, minimum=64)
+        self.register_struct_array(
+            builder, PATIENT, n, "patients", plans, call_path=("main", "alloc_patients")
+        )
+        builder.add_scalar("village_stats", LONG, 4096, call_path=("main",))
+
+        # Patient lists stay mostly in allocation order (window-local
+        # shuffling): spatial locality survives, so splitting forward
+        # densifies the hot lines -- the mechanism behind the paper's
+        # 66.7%/90.8% L1/L2 miss reductions.
+        list_order = permuted_indices(n, seed=96, window=16)
+        body = [
+            # The hot loop: tasks walk the waiting lists via forward.
+            chase_pass(
+                LoopSpec(lines=(96, 96), fields=("forward",), repetitions=3,
+                         compute_cycles=WORK),
+                "patients",
+                list_order,
+                parallel=True,
+            ),
+            # Admissions pass: touches the simulation fields (not
+            # forward) once, giving them sampled offsets with low
+            # affinity to forward and high affinity to each other.
+            field_sweep(
+                LoopSpec(lines=(128, 136),
+                         fields=("seed", "time", "time_left", "hosps_visited",
+                                 "back", "dead", "id"),
+                         repetitions=1, compute_cycles=2 * WORK),
+                "patients",
+                n // 4,
+                stagger=False,
+                parallel=True,
+            ),
+            # Village statistics: small, cache-resident - the non-Patient
+            # ~5% of sampled latency.
+            scalar_sweep(210, "village_stats", 4096, 10, compute_cycles=WORK),
+        ]
+        return [Function("main", body, line=80)]

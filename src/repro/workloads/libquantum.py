@@ -1,0 +1,94 @@
+"""462.libquantum (SPEC CPU 2006) — §6.2.
+
+The quantum register is an array of ``quantum_reg_node_struct`` with
+two 8-byte fields, ``amplitude`` and ``state``. Gate kernels (toffoli,
+cnot, sigma-x) sweep the whole register testing/flipping ``state`` bits
+while ``amplitude`` is only rewritten on collapse — so ``state``
+carries ~100% of the sampled latency, the affinity between the two
+fields is 0, and the paper's split (Figure 8) separates them for a
+1.09x speedup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..layout.splitting import SplitPlan
+from ..layout.struct import StructType
+from ..layout.types import COMPLEX_FLOAT, MAX_UNSIGNED
+from ..program.builder import WorkloadBuilder
+from ..program.ir import Function
+from .base import LoopSpec, PaperWorkload
+from .common import field_sweep
+
+QUANTUM_REG_NODE = StructType(
+    "quantum_reg_node_struct",
+    [
+        ("amplitude", COMPLEX_FLOAT),
+        ("state", MAX_UNSIGNED),
+    ],
+)
+
+#: libquantum's per-access ALU work (bit tests and index arithmetic),
+#: calibrated for the paper's 1.09x speedup at 2.79% overhead.
+WORK = 37.0
+
+#: The three hot gate loops the paper pinpoints, with their shares of
+#: quantum_reg_node_struct's latency: 43.4%, 40.8%, 15.5%.
+LIBQUANTUM_LOOPS = [
+    LoopSpec(lines=(170, 174), fields=("state",), repetitions=11, compute_cycles=WORK),
+    LoopSpec(lines=(89, 98), fields=("state",), repetitions=10, compute_cycles=WORK),
+    LoopSpec(lines=(61, 66), fields=("state",), repetitions=4, compute_cycles=WORK),
+]
+
+
+class LibquantumWorkload(PaperWorkload):
+    """462.libquantum quantum-computer simulation (sequential)."""
+
+    name = "462.libquantum"
+    num_threads = 1
+    recommended_period = 503
+
+    #: Register size: 24576 nodes = 384KB of nodes (past L2) at scale 1.
+    BASE_NODES = 24576
+
+    def target_structs(self) -> Dict[str, StructType]:
+        return {"reg_nodes": QUANTUM_REG_NODE}
+
+    def paper_plans(self) -> Dict[str, SplitPlan]:
+        return {
+            "reg_nodes": SplitPlan(
+                QUANTUM_REG_NODE.name, (("amplitude",), ("state",))
+            )
+        }
+
+    def _populate(
+        self, builder: WorkloadBuilder, plans: Dict[str, SplitPlan]
+    ) -> List[Function]:
+        n = self.scaled(self.BASE_NODES, minimum=64)
+        self.register_struct_array(
+            builder,
+            QUANTUM_REG_NODE,
+            n,
+            "reg_nodes",
+            plans,
+            call_path=("main", "quantum_new_qureg"),
+        )
+        body = [field_sweep(spec, "reg_nodes", n) for spec in LIBQUANTUM_LOOPS]
+        # Amplitude rewrite on measurement collapse: stores only, so
+        # PEBS-LL (loads) never samples the field and its affinity with
+        # state is 0 — matching the paper's ~100%/~0% latency division.
+        body.append(
+            field_sweep(
+                LoopSpec(
+                    lines=(205, 208),
+                    fields=("amplitude",),
+                    repetitions=1,
+                    compute_cycles=WORK,
+                ),
+                "reg_nodes",
+                n,
+                writes=("amplitude",),
+            )
+        )
+        return [Function("main", body, line=50)]

@@ -1,0 +1,80 @@
+"""TSP (Olden) — §6.3.
+
+Olden's travelling-salesman solver keeps its cities in ``tree`` nodes
+allocated contiguously; the tour-construction and tour-length loops
+chase the ``next`` link and read the coordinates ``x``/``y`` of each
+visited node. The paper attributes 100% of latency to the tree arrays,
+with next/x/y carrying 80.7/14.4/4.9%, co-accessed in two loops
+(139-142 at 23.4% and 170-173 at 76.6%) with affinity 1 — so the split
+(Figure 9) pulls {x, y, next} into a hot structure and leaves the
+tree-shape fields {sz, left, right, prev} cold, for a 1.09x speedup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..layout.splitting import SplitPlan
+from ..layout.struct import StructType
+from ..layout.types import DOUBLE, INT
+from ..program.builder import WorkloadBuilder
+from ..program.ir import Function
+from .base import LoopSpec, PaperWorkload, permuted_indices
+from .common import chase_pass
+
+TREE = StructType(
+    "tree",
+    [
+        ("sz", INT),
+        ("x", DOUBLE),
+        ("y", DOUBLE),
+        ("left", INT),
+        ("right", INT),
+        ("next", INT),
+        ("prev", INT),
+    ],
+)
+
+#: Distance arithmetic per node visit, calibrated for 1.09x at 2.42%.
+WORK = 40.0
+
+#: The two tour loops; repetitions follow their 23.4%/76.6% shares.
+TSP_LOOPS = [
+    LoopSpec(lines=(170, 173), fields=("next", "x", "y"), repetitions=19,
+             compute_cycles=3 * WORK),
+    LoopSpec(lines=(139, 142), fields=("next", "x", "y"), repetitions=6,
+             compute_cycles=3 * WORK),
+]
+
+
+class TspWorkload(PaperWorkload):
+    """Olden TSP solver (sequential, pointer-chasing)."""
+
+    name = "TSP"
+    num_threads = 1
+    recommended_period = 509
+
+    #: 8192 nodes * 40B = 320KB of tree nodes (past L2) at scale 1.
+    BASE_NODES = 8192
+
+    def target_structs(self) -> Dict[str, StructType]:
+        return {"tree_nodes": TREE}
+
+    def paper_plans(self) -> Dict[str, SplitPlan]:
+        return {
+            "tree_nodes": SplitPlan(
+                TREE.name,
+                (("x", "y", "next"), ("sz", "left", "right", "prev")),
+            )
+        }
+
+    def _populate(
+        self, builder: WorkloadBuilder, plans: Dict[str, SplitPlan]
+    ) -> List[Function]:
+        n = self.scaled(self.BASE_NODES, minimum=64)
+        self.register_struct_array(
+            builder, TREE, n, "tree_nodes", plans, call_path=("main", "build_tree")
+        )
+        tour = permuted_indices(n, seed=1723)
+        body = [chase_pass(spec, "tree_nodes", tour) for spec in TSP_LOOPS]
+        return [Function("main", body, line=120)]

@@ -1,0 +1,62 @@
+"""Shared fixtures: small, fast workloads and hierarchies for unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.layout import INT, StructType
+from repro.memsim import HierarchyConfig
+from repro.program import Access, Function, Loop, WorkloadBuilder, affine
+
+#: The paper's Figure 1 structure.
+FIGURE1_TYPE = StructType(
+    "type", [("a", INT), ("b", INT), ("c", INT), ("d", INT)]
+)
+
+
+def build_figure1(n: int = 4096, plans=None, skew_bytes: int = 0):
+    """The Figure 1 two-loop program, small enough for unit tests.
+
+    ``skew_bytes`` pads the front of the heap so two builds get
+    different absolute addresses — used to model separate processes.
+    """
+    builder = WorkloadBuilder(
+        "figure1", variant="split" if plans else "original"
+    )
+    if skew_bytes:
+        builder.space.allocate("aslr_skew", skew_bytes)
+    if plans:
+        from repro.layout import apply_split
+
+        builder.add_split_aos(
+            apply_split(FIGURE1_TYPE, plans["Arr"]), n, name="Arr",
+            call_path=("main",),
+        )
+    else:
+        builder.add_aos(FIGURE1_TYPE, n, name="Arr", call_path=("main",))
+    builder.add_scalar("B", INT, n)
+    builder.add_scalar("C", INT, n)
+    body = [
+        Loop(line=4, var="i", start=0, stop=n, end_line=5, body=[
+            Access(line=5, array="Arr", field="a", index=affine("i")),
+            Access(line=5, array="Arr", field="c", index=affine("i")),
+            Access(line=5, array="B", index=affine("i"), is_write=True),
+        ]),
+        Loop(line=7, var="i", start=0, stop=n, end_line=8, body=[
+            Access(line=8, array="Arr", field="b", index=affine("i")),
+            Access(line=8, array="Arr", field="d", index=affine("i")),
+            Access(line=8, array="C", index=affine("i"), is_write=True),
+        ]),
+    ]
+    return builder.build([Function("main", body, line=1)])
+
+
+@pytest.fixture
+def figure1():
+    return build_figure1()
+
+
+@pytest.fixture
+def small_config():
+    """A scaled-down hierarchy so tiny arrays still miss."""
+    return HierarchyConfig.small()

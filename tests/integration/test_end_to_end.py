@@ -1,0 +1,111 @@
+"""Integration: full API journeys a downstream user would take."""
+
+import pytest
+
+from repro.core import OfflineAnalyzer, derive_plans, optimize
+from repro.memsim import miss_reduction, speedup
+from repro.profiler import Monitor, ThreadProfile, reduction_tree_merge
+from repro.workloads import TABLE2_WORKLOADS, ArtWorkload
+
+from ..conftest import FIGURE1_TYPE, build_figure1
+
+
+class TestFigure1Journey:
+    """The motivating example must work exactly as the paper tells it."""
+
+    @pytest.fixture(scope="class")
+    def cycle(self):
+        bound = build_figure1(n=16384)
+        monitor = Monitor(sampling_period=131)
+        run = monitor.run(bound)
+        report = OfflineAnalyzer().analyze(run)
+        plans = derive_plans(report, {"Arr": FIGURE1_TYPE})
+        optimized = monitor.run_unmonitored(build_figure1(n=16384, plans=plans))
+        return run, report, plans, optimized
+
+    def test_recommends_the_figure1_split(self, cycle):
+        _, _, plans, _ = cycle
+        groups = {frozenset(g) for g in plans["Arr"].groups}
+        assert groups == {frozenset({"a", "c"}), frozenset({"b", "d"})}
+
+    def test_split_is_faster(self, cycle):
+        run, _, _, optimized = cycle
+        assert speedup(run.metrics, optimized) > 1.02
+
+    def test_split_reduces_l1_misses(self, cycle):
+        run, _, _, optimized = cycle
+        assert miss_reduction(run.metrics, optimized)["L1"] > 20
+
+    def test_scalar_arrays_are_not_split(self, cycle):
+        _, report, _, _ = cycle
+        for analysis in report.objects.values():
+            if analysis.name in ("B", "C") and analysis.advice is not None:
+                assert not analysis.advice.should_split()
+
+
+class TestProfileFileHandoff:
+    """Profiler -> files -> analyzer, like the real tool's two halves."""
+
+    def test_analysis_from_reloaded_profiles_matches_direct(self, tmp_path):
+        workload = ArtWorkload(scale=0.15)
+        monitor = Monitor(sampling_period=127)
+        run = monitor.run(workload.build_original())
+
+        direct = OfflineAnalyzer().analyze(run)
+
+        paths = []
+        for thread, profile in run.profiles.items():
+            path = tmp_path / f"t{thread}.json"
+            profile.save(path)
+            paths.append(path)
+        merged = reduction_tree_merge([ThreadProfile.load(p) for p in paths])
+        reloaded = OfflineAnalyzer().analyze_profile(
+            merged, loop_map=run.loop_map, workload=run.workload,
+        )
+
+        assert reloaded.total_latency == direct.total_latency
+        assert [e.identity for e in reloaded.hot] == [e.identity for e in direct.hot]
+        a = direct.object_by_name("f1_layer")
+        b = reloaded.object_by_name("f1_layer")
+        assert a.recovered.size == b.recovered.size
+        assert a.recovered.offsets == b.recovered.offsets
+
+
+class TestOptimizeAPI:
+    def test_optimize_runs_a_real_benchmark(self):
+        result = optimize(TABLE2_WORKLOADS["462.libquantum"](scale=0.3))
+        assert result.workload == "462.libquantum"
+        assert result.plans
+        assert result.speedup > 1.0
+        assert result.overhead_percent < 20.0
+        assert "reg_nodes" in result.plans
+
+    def test_explicit_thread_override(self):
+        result = optimize(
+            TABLE2_WORKLOADS["CLOMP 1.2"](scale=0.15), num_threads=2
+        )
+        assert result.original.num_threads == 2
+
+
+class TestMergedVsPerThreadAnalysis:
+    """§4.4: merging per-thread profiles must not lose the signal."""
+
+    def test_parallel_profile_merge_preserves_structure_recovery(self):
+        workload = TABLE2_WORKLOADS["NN"](scale=0.3)
+        monitor = Monitor(sampling_period=173)
+        run = monitor.run(workload.build_original(), num_threads=4)
+        assert len(run.profiles) == 4
+
+        report = OfflineAnalyzer().analyze(run)
+        merged_analysis = report.object_by_name("neighbors")
+        assert merged_analysis.recovered.size == 56
+
+        # Each thread alone saw only its chunk; per-thread analysis of
+        # the hot structure still recovers the same element size.
+        for profile in run.profiles.values():
+            solo = OfflineAnalyzer().analyze_profile(
+                profile, loop_map=run.loop_map, workload=run.workload
+            )
+            analysis = solo.object_by_name("neighbors")
+            if analysis is not None and analysis.recovered is not None:
+                assert analysis.recovered.size == 56

@@ -1,0 +1,70 @@
+"""Integration: every example script must run to completion.
+
+Examples are API documentation; a broken example is a broken promise.
+Each runs in-process (monkeypatched argv where needed) at a reduced
+scale and its stdout is checked for the load-bearing lines.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(capsys, monkeypatch, script, *argv):
+    monkeypatch.setattr(sys, "argv", [script] + list(argv))
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys, monkeypatch):
+    out = run_example(capsys, monkeypatch, "quickstart.py")
+    assert "advice: split type -> {a, c} | {b, d}" in out
+    assert "speedup:" in out
+
+
+def test_optimize_art(capsys, monkeypatch, tmp_path):
+    dot = tmp_path / "art.dot"
+    out = run_example(capsys, monkeypatch, "optimize_art.py",
+                      "--scale", "0.3", "--dot", str(dot))
+    assert "Table 5" in out
+    assert "Table 6" in out
+    assert "recommended split: split f1_neuron" in out
+    assert dot.read_text().startswith('graph "f1_layer"')
+
+
+def test_parallel_profiling(capsys, monkeypatch):
+    out = run_example(capsys, monkeypatch, "parallel_profiling.py",
+                      "--scale", "0.2")
+    assert "threads monitored: [0, 1, 2, 3]" in out
+    assert "wrote 4 per-thread profile files" in out
+    assert "speedup after split:" in out
+
+
+def test_custom_workload(capsys, monkeypatch):
+    out = run_example(capsys, monkeypatch, "custom_workload.py")
+    assert "advice: split particle" in out
+    assert "speedup:" in out
+
+
+def test_compare_baselines(capsys, monkeypatch):
+    out = run_example(capsys, monkeypatch, "compare_baselines.py",
+                      "--scale", "0.1")
+    assert "StructSlim (PEBS-LL)" in out
+    assert "latency (StructSlim)" in out
+
+
+def test_dsl_workload(capsys, monkeypatch):
+    out = run_example(capsys, monkeypatch, "dsl_workload.py")
+    assert "advice: split body" in out
+    assert "speedup:" in out
+
+
+def test_regroup_arrays(capsys, monkeypatch):
+    out = run_example(capsys, monkeypatch, "regroup_arrays.py",
+                      "--scale", "0.3")
+    assert "regroup [ax, ay, az]" in out
+    assert "speedup:" in out

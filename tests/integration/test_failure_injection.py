@@ -1,0 +1,147 @@
+"""Integration: degraded inputs and violated assumptions.
+
+StructSlim's methodology rests on assumptions the paper states
+explicitly (one field per instruction per context, enough samples per
+stream). These tests inject violations and starvation and check the
+analysis degrades the way the paper predicts — gracefully, never by
+crashing or by fabricating advice.
+"""
+
+import pytest
+
+from repro.core import OfflineAnalyzer, derive_plans
+from repro.layout import DOUBLE, INT, StructType
+from repro.profiler import Monitor
+from repro.program import (
+    Access,
+    Function,
+    Loop,
+    Mod,
+    WorkloadBuilder,
+    affine,
+)
+
+from ..conftest import FIGURE1_TYPE, build_figure1
+
+
+class TestSampleStarvation:
+    def test_no_samples_yields_empty_report_not_crash(self):
+        bound = build_figure1(n=256)
+        monitor = Monitor(sampling_period=10**9)
+        run = monitor.run(bound)
+        assert run.sample_count == 0
+        report = OfflineAnalyzer().analyze(run)
+        assert report.hot == []
+        assert derive_plans(report, {"Arr": FIGURE1_TYPE}) == {}
+
+    def test_one_sample_gives_no_stride_advice(self):
+        bound = build_figure1(n=4096)
+        monitor = Monitor(sampling_period=3 * 2 * 4096 - 1, seed=3)
+        run = monitor.run(bound)
+        report = OfflineAnalyzer().analyze(run)
+        # With <=1 sample per stream no structure can be recovered...
+        plans = derive_plans(report, {"Arr": FIGURE1_TYPE})
+        # ...so either no plan, or (if two unique samples landed in one
+        # stream) a legitimate one — never an exception.
+        assert isinstance(plans, dict)
+
+    def test_sparse_sampling_still_finds_the_split(self):
+        # ~25 samples across the run is enough: the hot streams still
+        # collect the >=2 unique addresses the GCD needs.
+        bound = build_figure1(n=65536)
+        monitor = Monitor(sampling_period=16001, seed=1)
+        run = monitor.run(bound)
+        report = OfflineAnalyzer().analyze(run)
+        plans = derive_plans(report, {"Arr": FIGURE1_TYPE})
+        if "Arr" in plans:  # sampling-dependent, but never wrong:
+            for group in plans["Arr"].groups:
+                assert set(group) in ({"a", "c"}, {"b", "d"}, {"a"}, {"b"},
+                                      {"c"}, {"d"})
+
+
+MIXED = StructType("mixed", [("a", DOUBLE), ("b", DOUBLE)])
+
+
+class TestAssumptionViolation:
+    """One instruction alternating between two fields of one object."""
+
+    def _bound(self, n=8192):
+        builder = WorkloadBuilder("violator")
+        builder.add_aos(MIXED, n, name="M")
+        # A single access site whose byte offset alternates: element
+        # 2k reads field a, element 2k+1 reads field b -- the address
+        # sequence is 0, 24, 32, 56, 64, ... (stride collapses to 8).
+        body = [
+            Loop(line=10, var="i", start=0, stop=2 * n - 1, body=[
+                Access(line=11, array="M", field="a",
+                       index=Mod(affine("i", 1, 0), n)),
+                Access(line=12, array="M", field="b",
+                       index=Mod(affine("i", 1, 1), n)),
+            ], end_line=12),
+        ]
+        return builder.build([Function("main", body, line=1)])
+
+    def test_gcd_collapses_but_analysis_survives(self):
+        monitor = Monitor(sampling_period=101)
+        run = monitor.run(self._bound())
+        report = OfflineAnalyzer().analyze(run)
+        analysis = report.object_by_name("M")
+        # Wrap-around indexing breaks the constant stride: recovered
+        # size is a divisor of the real 16-byte element, so advice is
+        # either absent or conservative -- but never a crash.
+        if analysis is not None and analysis.recovered is not None:
+            assert MIXED.size % analysis.recovered.size == 0 or \
+                analysis.recovered.size % MIXED.size == 0
+
+
+class TestColdStructures:
+    def test_never_accessed_object_is_filtered(self):
+        builder = WorkloadBuilder("cold")
+        builder.add_aos(MIXED, 1024, name="hot")
+        builder.add_aos(MIXED, 1024, name="never_touched")
+        body = [Loop(line=1, var="i", start=0, stop=1024, body=[
+            Access(line=2, array="hot", field="a", index=affine("i")),
+        ])]
+        bound = builder.build([Function("main", body)])
+        run = Monitor(sampling_period=37).run(bound)
+        report = OfflineAnalyzer().analyze(run)
+        assert all(e.name != "never_touched" for e in report.hot)
+
+    def test_low_share_object_dropped_by_min_share(self):
+        builder = WorkloadBuilder("skew")
+        builder.add_aos(MIXED, 4096, name="hot")
+        builder.add_aos(MIXED, 64, name="tiny")
+        body = [
+            Loop(line=1, var="i", start=0, stop=4096, body=[
+                Access(line=2, array="hot", field="a", index=affine("i")),
+            ]),
+            Loop(line=5, var="j", start=0, stop=8, body=[
+                Access(line=6, array="tiny", field="a", index=affine("j")),
+            ]),
+        ]
+        bound = builder.build([Function("main", body)])
+        run = Monitor(sampling_period=17).run(bound)
+        report = OfflineAnalyzer(min_share=0.05).analyze(run)
+        assert all(e.name != "tiny" for e in report.hot)
+
+
+class TestWriteOnlyFields:
+    def test_pebs_blindness_to_stores_shows_as_unobserved_field(self):
+        # Field b is only ever written: PEBS-LL (loads) never sees it,
+        # so it must come out as a cold singleton, like ART's field R.
+        builder = WorkloadBuilder("writeonly")
+        builder.add_aos(MIXED, 8192, name="M")
+        body = [Loop(line=1, var="i", start=0, stop=8192, body=[
+            Access(line=2, array="M", field="a", index=affine("i")),
+            Access(line=3, array="M", field="b", index=affine("i"),
+                   is_write=True),
+        ])]
+        bound = builder.build([Function("main", body)])
+        run = Monitor(sampling_period=53).run(bound)
+        report = OfflineAnalyzer().analyze(run)
+        analysis = report.object_by_name("M")
+        assert analysis.recovered.offsets == [0]
+        plan = derive_plans(report, {"M": MIXED})["M"]
+        assert {frozenset(g) for g in plan.groups} == {
+            frozenset({"a"}), frozenset({"b"}),
+        }

@@ -1,0 +1,166 @@
+"""Integration: each §6 narrative must reproduce from a monitored run.
+
+These tests run the full pipeline (profile -> analyze -> advise) on
+every Table 2 benchmark at a reduced scale and check the *qualitative*
+claims of each subsection: which structure is hot, which fields
+dominate, and — most importantly — that the derived split plan matches
+the one the paper published (Figures 7-13).
+"""
+
+import pytest
+
+from repro.core import OfflineAnalyzer, derive_plans
+from repro.profiler import Monitor
+from repro.workloads import TABLE2_WORKLOADS
+
+SCALE = 0.4
+
+
+def plan_groups(plan):
+    return {frozenset(group) for group in plan.groups}
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """One monitored run + analysis per benchmark, shared module-wide."""
+    results = {}
+    for name, factory in TABLE2_WORKLOADS.items():
+        workload = factory(scale=SCALE)
+        monitor = Monitor(sampling_period=max(64, workload.recommended_period // 3))
+        run = monitor.run(workload.build_original(), num_threads=workload.num_threads)
+        report = OfflineAnalyzer().analyze(run)
+        plans = derive_plans(report, workload.target_structs())
+        results[name] = (workload, run, report, plans)
+    return results
+
+
+@pytest.mark.parametrize("name", list(TABLE2_WORKLOADS))
+def test_derived_plan_matches_the_published_split(runs, name):
+    workload, _, _, plans = runs[name]
+    paper = workload.paper_plans()
+    assert set(plans) == set(paper), f"{name}: wrong arrays split"
+    for array, plan in plans.items():
+        assert plan_groups(plan) == plan_groups(paper[array]), (
+            f"{name}/{array}: derived {plan.describe()} "
+            f"!= paper {paper[array].describe()}"
+        )
+
+
+class TestArtNarrative:
+    def test_f1_neuron_dominates_program_latency(self, runs):
+        _, _, report, _ = runs["179.ART"]
+        assert report.hot[0].name == "f1_layer"
+        assert report.hot[0].share > 0.6  # paper: 80.4%
+
+    def test_field_p_is_the_hottest(self, runs):
+        _, _, report, _ = runs["179.ART"]
+        analysis = report.object_by_name("f1_layer")
+        shares = {o: analysis.recovered.latency_share(o)
+                  for o in analysis.recovered.offsets}
+        p_offset = 40
+        assert shares[p_offset] == max(shares.values())
+        assert shares[p_offset] > 0.6  # paper: 73.3%
+
+    def test_field_r_never_sampled(self, runs):
+        _, _, report, _ = runs["179.ART"]
+        analysis = report.object_by_name("f1_layer")
+        assert 56 not in analysis.recovered.offsets  # R at offset 56
+
+    def test_recovered_element_size_is_64(self, runs):
+        _, _, report, _ = runs["179.ART"]
+        assert report.object_by_name("f1_layer").recovered.size == 64
+
+    def test_iu_affinity_high_pu_affinity_low(self, runs):
+        _, _, report, _ = runs["179.ART"]
+        affinity = report.object_by_name("f1_layer").affinity
+        assert affinity.affinity(0, 32) > 0.5     # I-U: paper 0.86
+        assert affinity.affinity(32, 40) < 0.2    # P-U: paper 0.05
+        assert affinity.affinity(16, 48) > 0.9    # X-Q: paper ~1
+
+
+class TestLibquantumNarrative:
+    def test_reg_nodes_account_for_nearly_all_latency(self, runs):
+        _, _, report, _ = runs["462.libquantum"]
+        assert report.hot[0].name == "reg_nodes"
+        assert report.hot[0].share > 0.95  # paper: 99.9%
+
+    def test_state_takes_all_sampled_latency(self, runs):
+        _, _, report, _ = runs["462.libquantum"]
+        analysis = report.object_by_name("reg_nodes")
+        state_offset = 8
+        assert analysis.recovered.latency_share(state_offset) > 0.99
+
+    def test_recovered_size_is_16(self, runs):
+        _, _, report, _ = runs["462.libquantum"]
+        assert report.object_by_name("reg_nodes").recovered.size == 16
+
+
+class TestTspNarrative:
+    def test_next_dominates_then_x_then_y(self, runs):
+        _, _, report, _ = runs["TSP"]
+        analysis = report.object_by_name("tree_nodes")
+        share = analysis.recovered.latency_share
+        next_o, x_o, y_o = 32, 8, 16
+        assert share(next_o) > 0.5          # paper: 80.7%
+        assert share(next_o) > share(x_o) >= share(y_o) * 0.5
+
+    def test_hot_trio_has_affinity_one(self, runs):
+        _, _, report, _ = runs["TSP"]
+        affinity = report.object_by_name("tree_nodes").affinity
+        assert affinity.affinity(8, 16) == pytest.approx(1.0)
+        assert affinity.affinity(8, 32) == pytest.approx(1.0)
+
+
+class TestMserNarrative:
+    def test_node_t_is_hot_but_minor(self, runs):
+        _, _, report, _ = runs["Mser"]
+        entry = next(e for e in report.hot if e.name == "forest")
+        assert 0.1 < entry.share < 0.5  # paper: 21.2%
+
+    def test_parent_alone_with_stride_16(self, runs):
+        _, _, report, _ = runs["Mser"]
+        analysis = report.object_by_name("forest")
+        assert analysis.recovered.size == 16
+        assert analysis.recovered.offsets == [0]  # parent at offset 0
+
+
+class TestClompNarrative:
+    def test_zones_dominate(self, runs):
+        _, _, report, _ = runs["CLOMP 1.2"]
+        assert report.hot[0].name == "zones"
+        assert report.hot[0].share > 0.7  # paper: 89.1%
+
+    def test_value_and_nextzone_fully_affine(self, runs):
+        _, _, report, _ = runs["CLOMP 1.2"]
+        affinity = report.object_by_name("zones").affinity
+        assert affinity.affinity(16, 24) == pytest.approx(1.0)
+
+    def test_all_four_threads_contributed(self, runs):
+        _, run, _, _ = runs["CLOMP 1.2"]
+        assert set(run.profiles) == {0, 1, 2, 3}
+
+
+class TestHealthNarrative:
+    def test_patients_dominate(self, runs):
+        _, _, report, _ = runs["Health"]
+        assert report.hot[0].name == "patients"
+        assert report.hot[0].share > 0.8  # paper: 95.2%
+
+    def test_forward_has_low_affinity_with_everything(self, runs):
+        _, _, report, _ = runs["Health"]
+        analysis = report.object_by_name("patients")
+        forward = 32
+        for other in analysis.recovered.offsets:
+            if other != forward:
+                assert analysis.affinity.affinity(forward, other) < 0.5
+
+
+class TestNnNarrative:
+    def test_dist_carries_nearly_all_latency(self, runs):
+        _, _, report, _ = runs["NN"]
+        analysis = report.object_by_name("neighbors")
+        assert analysis.recovered.latency_share(48) > 0.9  # paper: 99.1%
+
+    def test_recovered_size_is_56(self, runs):
+        _, _, report, _ = runs["NN"]
+        assert report.object_by_name("neighbors").recovered.size == 56

@@ -1,0 +1,62 @@
+"""Shared hypothesis strategies: random nested-loop IR."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binary import LoopMap, find_loops, lower_function
+from repro.layout import INT, StructType
+from repro.program import Access, Compute, Function, Loop, WorkloadBuilder, affine
+
+ELEM = StructType("s", [("x", INT)])
+
+
+@st.composite
+def loop_trees(draw, depth=0):
+    """A random IR body: a mix of computes, accesses, and nested loops."""
+    body = []
+    n_stmts = draw(st.integers(min_value=1, max_value=3))
+    line = draw(st.integers(min_value=1, max_value=900))
+    for k in range(n_stmts):
+        kind = draw(st.sampled_from(
+            ["compute", "access", "loop"] if depth < 3 else ["compute", "access"]
+        ))
+        if kind == "compute":
+            body.append(Compute(line=line + k, cycles=1.0))
+        elif kind == "access":
+            body.append(Access(line=line + k, array="A", field="x",
+                               index=affine("i0", 0, 0)))
+        else:
+            body.append(Loop(
+                line=line + k,
+                var=f"v{depth}_{k}",
+                start=0,
+                stop=2,
+                body=draw(loop_trees(depth=depth + 1)),
+                end_line=line + k + 1,
+            ))
+    return body
+
+
+def count_loops(body):
+    total = 0
+    for stmt in body:
+        if isinstance(stmt, Loop):
+            total += 1 + count_loops(stmt.body)
+    return total
+
+
+def max_depth(body, depth=0):
+    deepest = depth
+    for stmt in body:
+        if isinstance(stmt, Loop):
+            deepest = max(deepest, max_depth(stmt.body, depth + 1))
+    return deepest
+
+
+def build(body):
+    builder = WorkloadBuilder("random")
+    builder.add_aos(ELEM, 4, name="A")
+    outer = Loop(line=0, var="i0", start=0, stop=1, body=body, end_line=999)
+    return builder.build([Function("main", [outer])])
+
+

@@ -1,0 +1,92 @@
+"""Property-based tests for profile merging and the sampling engine."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.profiler import ThreadProfile, merge_pair, reduction_tree_merge
+from repro.program import MemoryAccess
+from repro.sampling import SamplingEngine
+
+
+@st.composite
+def profiles(draw):
+    profile = ThreadProfile(thread=draw(st.integers(0, 7)))
+    n_streams = draw(st.integers(min_value=0, max_value=4))
+    for k in range(n_streams):
+        key = (draw(st.integers(1, 3)), 0, ("heap", draw(st.sampled_from("AB"))))
+        stream = profile.stream(*key)
+        for _ in range(draw(st.integers(1, 6))):
+            stream.update(draw(st.integers(0, 4096)) * 8, 1.0)
+        profile.add_data_latency(key[2], stream.total_latency)
+        profile.total_latency += stream.total_latency
+        profile.sample_count += stream.sample_count
+    return profile
+
+
+class TestMergeProperties:
+    @given(profiles(), profiles())
+    def test_merge_conserves_counts_and_latency(self, a, b):
+        merged = merge_pair(a, b)
+        assert merged.sample_count == a.sample_count + b.sample_count
+        assert merged.total_latency == a.total_latency + b.total_latency
+        assert set(merged.streams) == set(a.streams) | set(b.streams)
+
+    @given(profiles(), profiles())
+    def test_merge_is_commutative_on_stride_and_latency(self, a, b):
+        ab, ba = merge_pair(a, b), merge_pair(b, a)
+        assert set(ab.streams) == set(ba.streams)
+        for key in ab.streams:
+            assert ab.streams[key].stride == ba.streams[key].stride
+            assert ab.streams[key].total_latency == ba.streams[key].total_latency
+
+    @given(st.lists(profiles(), min_size=1, max_size=7))
+    def test_tree_merge_equals_left_fold(self, many):
+        tree = reduction_tree_merge(many)
+        fold = many[0]
+        for nxt in many[1:]:
+            fold = merge_pair(fold, nxt)
+        assert tree.sample_count == fold.sample_count
+        assert set(tree.streams) == set(fold.streams)
+        for key in tree.streams:
+            # Strides may differ only by the order cross-profile diffs
+            # were folded; both must divide each other -> equal.
+            assert tree.streams[key].stride == fold.streams[key].stride
+
+    @given(profiles())
+    def test_merged_stride_divides_each_input_stride(self, a):
+        b = ThreadProfile(thread=9)
+        merged = merge_pair(a, b)
+        for key, stream in a.streams.items():
+            if stream.stride:
+                assert stream.stride % merged.streams[key].stride == 0 or \
+                    merged.streams[key].stride == stream.stride
+
+
+class TestSamplerProperties:
+    traces = st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 2**20), st.booleans()),
+        min_size=1, max_size=2000,
+    )
+
+    @given(traces, st.integers(1, 100))
+    @settings(deadline=None, max_examples=30)
+    def test_sample_count_bounded_by_period(self, trace, period):
+        engine = SamplingEngine(period=period, seed=5)
+        for thread, addr, write in trace:
+            engine.observe(MemoryAccess(thread, 0, addr, 8, write, 0, 0), 10.0)
+        threads = len({t for t, _, _ in trace})
+        upper = len(trace) / max(1, period * (1 - engine.jitter)) + threads
+        assert engine.sample_count <= math.ceil(upper)
+
+    @given(traces)
+    @settings(deadline=None, max_examples=30)
+    def test_samples_are_a_subset_of_the_trace(self, trace):
+        engine = SamplingEngine(period=3, seed=5)
+        seen = set()
+        for thread, addr, write in trace:
+            seen.add((thread, addr))
+            engine.observe(MemoryAccess(thread, 0, addr, 8, write, 0, 0), 1.0)
+        for sample in engine.samples:
+            assert (sample.thread, sample.address) in seen

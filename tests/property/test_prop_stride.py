@@ -1,0 +1,75 @@
+"""Property-based tests for the GCD stride algorithm (Eqs 2-5)."""
+
+import math
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.core import gcd_stride, structure_size, unique_in_order
+from repro.profiler import StreamState
+
+indices = st.lists(st.integers(min_value=0, max_value=10_000),
+                   min_size=2, max_size=40, unique=True)
+strides = st.integers(min_value=1, max_value=512)
+bases = st.integers(min_value=0, max_value=2**40)
+
+
+class TestGcdStrideProperties:
+    @given(indices, strides, bases)
+    def test_result_is_always_a_multiple_of_the_true_stride(self, idx, stride, base):
+        addresses = [base + i * stride for i in idx]
+        computed = gcd_stride(addresses)
+        assert computed % stride == 0
+
+    @given(indices, strides, bases)
+    def test_result_divides_every_pairwise_difference(self, idx, stride, base):
+        addresses = [base + i * stride for i in idx]
+        computed = gcd_stride(addresses)
+        for a in addresses:
+            for b in addresses:
+                assert (a - b) % computed == 0
+
+    @given(indices, strides, bases)
+    def test_adjacent_indices_guarantee_exact_recovery(self, idx, stride, base):
+        # Force one consecutive-index pair into the sample set: a single
+        # unit gap pins the GCD to the exact stride.
+        with_pair = sorted(set(idx) | {idx[0], idx[0] + 1})
+        addresses = [base + i * stride for i in with_pair]
+        assert gcd_stride(addresses) == stride
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=0,
+                    max_size=30))
+    def test_order_of_duplicates_is_irrelevant_to_stride_divisibility(self, addrs):
+        computed = gcd_stride(addrs)
+        unique = unique_in_order(addrs)
+        if len(unique) < 2:
+            assert computed == 0
+        else:
+            # Result always divides the gcd of all pairwise differences.
+            pair_gcd = 0
+            for a, b in zip(unique, unique[1:]):
+                pair_gcd = math.gcd(pair_gcd, abs(a - b))
+            assert computed == pair_gcd
+
+    @given(indices, strides)
+    def test_online_stream_state_matches_offline_gcd(self, idx, stride):
+        addresses = [i * stride for i in idx]
+        state = StreamState(key=(0, 0, ("heap", "x")))
+        for address in addresses:
+            state.update(address, 1.0)
+        assert state.stride == gcd_stride(addresses)
+
+
+class TestStructureSizeProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=64), min_size=1,
+                    max_size=8), strides)
+    def test_eq5_is_gcd_of_multiples(self, multiples, true_size):
+        streams = []
+        for k, m in enumerate(multiples):
+            s = StreamState(key=(k, 0, ("heap", "x")))
+            s.update(0, 1.0)
+            s.update(m * true_size, 1.0)
+            streams.append(s)
+        size = structure_size(streams)
+        assert size % true_size == 0
+        assert size == true_size * math.gcd(*multiples)

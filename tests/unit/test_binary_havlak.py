@@ -1,0 +1,136 @@
+"""Unit tests for Havlak interval analysis (loop discovery)."""
+
+import pytest
+
+from repro.binary import ControlFlowGraph, find_loops, lower_function
+from repro.layout import INT, StructType
+from repro.program import Access, Function, Loop, WorkloadBuilder, affine
+
+
+def chain(cfg, *blocks):
+    for src, dst in zip(blocks, blocks[1:]):
+        cfg.add_edge(src, dst)
+
+
+class TestHandBuiltGraphs:
+    def test_straight_line_has_no_loops(self):
+        cfg = ControlFlowGraph()
+        blocks = [cfg.new_block() for _ in range(4)]
+        chain(cfg, *blocks)
+        assert len(find_loops(cfg)) == 0
+
+    def test_single_natural_loop(self):
+        cfg = ControlFlowGraph()
+        entry, header, body, exit_ = (cfg.new_block() for _ in range(4))
+        chain(cfg, entry, header, body)
+        cfg.add_edge(body, header)
+        cfg.add_edge(header, exit_)
+        nest = find_loops(cfg)
+        assert len(nest) == 1
+        loop = nest.loops[0]
+        assert loop.header is header
+        assert body.id in nest.all_block_ids(loop)
+        assert not loop.irreducible
+
+    def test_self_loop(self):
+        cfg = ControlFlowGraph()
+        entry, node, exit_ = (cfg.new_block() for _ in range(3))
+        chain(cfg, entry, node, exit_)
+        cfg.add_edge(node, node)
+        nest = find_loops(cfg)
+        assert len(nest) == 1
+        assert nest.loops[0].header is node
+
+    def test_two_sequential_loops_are_siblings(self):
+        cfg = ControlFlowGraph()
+        e, h1, b1, h2, b2, x = (cfg.new_block() for _ in range(6))
+        chain(cfg, e, h1, b1)
+        cfg.add_edge(b1, h1)
+        cfg.add_edge(h1, h2)
+        cfg.add_edge(h2, b2)
+        cfg.add_edge(b2, h2)
+        cfg.add_edge(h2, x)
+        nest = find_loops(cfg)
+        assert len(nest) == 2
+        assert all(l.parent is None for l in nest.loops)
+        assert {l.header.id for l in nest.loops} == {h1.id, h2.id}
+
+    def test_nested_loops_build_a_tree(self):
+        cfg = ControlFlowGraph()
+        e, oh, ih, ib, ox, x = (cfg.new_block() for _ in range(6))
+        chain(cfg, e, oh, ih, ib)
+        cfg.add_edge(ib, ih)   # inner back edge
+        cfg.add_edge(ih, ox)
+        cfg.add_edge(ox, oh)   # outer back edge
+        cfg.add_edge(oh, x)
+        nest = find_loops(cfg)
+        assert len(nest) == 2
+        inner = next(l for l in nest.loops if l.header is ih)
+        outer = next(l for l in nest.loops if l.header is oh)
+        assert inner.parent == outer.id
+        assert inner.depth == outer.depth + 1
+        assert outer.children == [inner.id]
+
+    def test_irreducible_region_is_flagged(self):
+        # The classic two-entry loop: entry branches to both b and c,
+        # which cycle through each other.
+        cfg = ControlFlowGraph()
+        entry, b, c, exit_ = (cfg.new_block() for _ in range(4))
+        cfg.add_edge(entry, b)
+        cfg.add_edge(entry, c)
+        cfg.add_edge(b, c)
+        cfg.add_edge(c, b)
+        cfg.add_edge(c, exit_)
+        nest = find_loops(cfg)
+        assert any(l.irreducible for l in nest.loops)
+
+    def test_empty_graph(self):
+        assert len(find_loops(ControlFlowGraph())) == 0
+
+    def test_innermost_by_block_prefers_deeper_loop(self):
+        cfg = ControlFlowGraph()
+        e, oh, ih, ib, ox, x = (cfg.new_block() for _ in range(6))
+        chain(cfg, e, oh, ih, ib)
+        cfg.add_edge(ib, ih)
+        cfg.add_edge(ih, ox)
+        cfg.add_edge(ox, oh)
+        cfg.add_edge(oh, x)
+        nest = find_loops(cfg)
+        innermost = nest.innermost_by_block()
+        inner = next(l for l in nest.loops if l.header is ih)
+        outer = next(l for l in nest.loops if l.header is oh)
+        assert innermost[ib.id] == inner.id
+        assert innermost[ox.id] == outer.id
+
+
+class TestAgainstIRGroundTruth:
+    """Lower real workload IR and check Havlak recovers its loops."""
+
+    def _nest_of(self, bound, function="main"):
+        return find_loops(lower_function(bound.program, function))
+
+    def test_loop_counts_match_for_every_paper_workload(self):
+        from repro.workloads import all_workloads
+
+        for workload in all_workloads(scale=0.02):
+            bound = workload.build_original()
+            found = sum(
+                len(find_loops(lower_function(bound.program, fname)))
+                for fname in bound.program.functions
+            )
+            assert found == len(bound.program.loops()), workload.name
+
+    def test_deeply_nested_ir(self):
+        st = StructType("s", [("x", INT)])
+        builder = WorkloadBuilder("deep")
+        builder.add_aos(st, 4, name="A")
+        loop = Loop(line=10, var="v0", start=0, stop=1, body=[
+            Access(line=11, array="A", field="x", index=affine("v0"))
+        ])
+        for depth in range(1, 6):
+            loop = Loop(line=10 - depth, var=f"v{depth}", start=0, stop=1,
+                        body=[loop])
+        bound = builder.build([Function("main", [loop])])
+        nest = self._nest_of(bound)
+        assert len(nest) == 6
+        assert max(l.depth for l in nest.loops) == 6

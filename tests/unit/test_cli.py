@@ -1,0 +1,88 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestListCommand:
+    def test_lists_all_seven_workloads(self):
+        code, text = run_cli("list")
+        assert code == 0
+        for name in ("179.ART", "462.libquantum", "TSP", "Mser",
+                     "CLOMP 1.2", "Health", "NN"):
+            assert name in text
+
+    def test_marks_parallel_benchmarks(self):
+        _, text = run_cli("list")
+        assert "parallel x4" in text
+        assert "sequential" in text
+
+
+class TestAnalyzeCommand:
+    def test_analyze_prints_report_and_overhead(self):
+        code, text = run_cli("analyze", "462.libquantum", "--scale", "0.1")
+        assert code == 0
+        assert "hot data objects" in text
+        assert "reg_nodes" in text
+        assert "monitoring overhead" in text
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("analyze", "nonexistent")
+
+
+class TestOptimizeCommand:
+    def test_optimize_reports_split_and_speedup(self):
+        code, text = run_cli("optimize", "462.libquantum", "--scale", "0.3")
+        assert code == 0
+        assert "advice: split quantum_reg_node_struct" in text
+        assert "speedup:" in text
+
+
+class TestRegroupCommand:
+    def test_regroup_finds_the_interleaving(self):
+        code, text = run_cli("regroup", "--scale", "0.35")
+        assert code == 0
+        assert "regroup [ax, ay, az]" in text
+        assert "speedup:" in text
+
+
+class TestAccuracyCommand:
+    def test_accuracy_table_includes_corrected_column(self):
+        code, text = run_cli("accuracy", "--trials", "50")
+        assert code == 0
+        assert "corrected" in text
+        assert "lower bound" in text
+
+
+class TestViewsCommand:
+    def test_views_renders_both_pivots(self):
+        code, text = run_cli("views", "Mser", "--scale", "0.1")
+        assert code == 0
+        assert "=== code-centric view ===" in text
+        assert "=== data-centric view ===" in text
+        assert "forest" in text
+
+
+class TestSensitivityCommand:
+    def test_sweep_renders_table(self):
+        code, text = run_cli("sensitivity", "462.libquantum",
+                             "--scale", "0.1", "--periods", "101", "1009")
+        assert code == 0
+        assert "advice matches paper" in text
+        assert "101" in text and "1009" in text
+
+
+class TestParserBasics:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            run_cli()

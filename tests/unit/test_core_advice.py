@@ -1,0 +1,121 @@
+"""Unit tests for clustering, advice, dot output, and split plans."""
+
+import pytest
+
+from repro.core import build_advice, cluster_offsets, compute_affinities, group_latencies
+from repro.core.affinity import AffinityMatrix
+from repro.core.structsize import RecoveredField, RecoveredStruct
+from repro.layout import INT, StructType
+from repro.workloads import F1_NEURON, TREE
+
+
+def matrix(offsets, pairs):
+    values = {frozenset(k): v for k, v in pairs.items()}
+    return AffinityMatrix(offsets=tuple(offsets), values=values)
+
+
+class TestClustering:
+    def test_threshold_partitions(self):
+        m = matrix([0, 8, 16], {(0, 8): 0.9, (0, 16): 0.1, (8, 16): 0.2})
+        assert cluster_offsets(m, threshold=0.5) == [[0, 8], [16]]
+
+    def test_transitive_closure(self):
+        m = matrix([0, 8, 16], {(0, 8): 0.9, (8, 16): 0.9, (0, 16): 0.0})
+        assert cluster_offsets(m) == [[0, 8, 16]]
+
+    def test_all_isolated(self):
+        m = matrix([0, 8], {(0, 8): 0.0})
+        assert cluster_offsets(m) == [[0], [8]]
+
+    def test_threshold_is_inclusive(self):
+        m = matrix([0, 8], {(0, 8): 0.5})
+        assert cluster_offsets(m, threshold=0.5) == [[0, 8]]
+
+    def test_groups_sorted_big_first(self):
+        m = matrix([0, 8, 16, 24], {(16, 24): 0.9, (0, 8): 0.0,
+                                    (0, 16): 0.0, (0, 24): 0.0, (8, 16): 0.0,
+                                    (8, 24): 0.0})
+        groups = cluster_offsets(m)
+        assert groups[0] == [16, 24]
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            cluster_offsets(matrix([0], {}), threshold=1.5)
+
+    def test_group_latencies(self):
+        assert group_latencies([[0, 8], [16]], {0: 1.0, 8: 2.0, 16: 5.0}) == [3.0, 5.0]
+
+
+def art_like_advice():
+    offsets = [0, 8, 16, 24, 32, 40, 48]  # I W X V U P Q sampled; R missing
+    fields = {
+        o: RecoveredField(offset=o, latency=lat)
+        for o, lat in zip(offsets, (5.5, 2.0, 3.7, 3.7, 7.1, 73.3, 4.7))
+    }
+    recovered = RecoveredStruct(
+        identity=("heap", "f1_layer"), size=64, fields=fields,
+        total_latency=100.0,
+    )
+    pairs = {(i, j): 0.0 for n, i in enumerate(offsets) for j in offsets[n + 1:]}
+    pairs[(0, 32)] = 0.86   # I-U
+    pairs[(16, 48)] = 1.0   # X-Q
+    pairs[(32, 40)] = 0.05  # U-P
+    return build_advice(("heap", "f1_layer"), recovered, matrix(offsets, pairs))
+
+
+class TestAdvice:
+    def test_clusters_reproduce_figure7(self):
+        advice = art_like_advice()
+        clusters = {tuple(g) for g in advice.clusters}
+        assert (0, 32) in clusters     # {I, U}
+        assert (16, 48) in clusters    # {X, Q}
+        assert (40,) in clusters       # {P}
+
+    def test_split_plan_groups_unobserved_cold_fields_together(self):
+        plan = art_like_advice().split_plan(F1_NEURON)
+        groups = {frozenset(g) for g in plan.groups}
+        assert frozenset({"I", "U"}) in groups
+        assert frozenset({"X", "Q"}) in groups
+        assert frozenset({"P"}) in groups
+        assert frozenset({"R"}) in groups  # the lone unobserved field
+
+    def test_should_split(self):
+        assert art_like_advice().should_split()
+
+    def test_dot_graph_contains_clusters_and_edges(self):
+        dot = art_like_advice().to_dot()
+        assert dot.startswith('graph "f1_layer"')
+        assert "subgraph cluster_0" in dot
+        assert 'o0 -- o32 [label="0.86"' in dot
+        assert "style=bold" in dot and "style=dashed" in dot
+
+    def test_describe_names_fields_with_struct(self):
+        text = art_like_advice().describe(F1_NEURON)
+        assert "(P)" in text and "73.3%" in text
+
+    def test_describe_without_struct_uses_offsets(self):
+        text = art_like_advice().describe()
+        assert "@40" in text
+
+    def test_lonely_offset_gets_own_cluster(self):
+        # An offset with latency but no affinity pairs must still appear.
+        recovered = RecoveredStruct(
+            identity=("heap", "x"), size=8,
+            fields={0: RecoveredField(offset=0, latency=1.0)},
+            total_latency=1.0,
+        )
+        advice = build_advice(("heap", "x"), recovered,
+                              AffinityMatrix(offsets=(), values={}))
+        assert advice.clusters == [[0]]
+
+    def test_multifield_offsets_mapping_dedupes(self):
+        # Two recovered offsets inside one wide field map to one name.
+        wide = StructType("w", [("blob", INT), ("tail", INT)])
+        recovered = RecoveredStruct(
+            identity=("heap", "w"), size=8,
+            fields={0: RecoveredField(0, 1.0), 4: RecoveredField(4, 1.0)},
+            total_latency=2.0,
+        )
+        m = matrix([0, 4], {(0, 4): 1.0})
+        plan = build_advice(("heap", "w"), recovered, m).split_plan(wide)
+        assert plan.is_identity()

@@ -1,0 +1,100 @@
+"""Unit tests for the offline analyzer and the end-to-end pipeline."""
+
+import pytest
+
+from repro.core import OfflineAnalyzer, derive_plans, optimize
+from repro.profiler import Monitor
+
+from ..conftest import FIGURE1_TYPE, build_figure1
+
+
+@pytest.fixture(scope="module")
+def figure1_report():
+    bound = build_figure1(n=4096)
+    monitor = Monitor(sampling_period=97)
+    run = monitor.run(bound)
+    return OfflineAnalyzer().analyze(run), run
+
+
+class TestOfflineAnalyzer:
+    def test_hot_data_finds_arr(self, figure1_report):
+        report, _ = figure1_report
+        assert report.hot
+        assert report.hot[0].name == "Arr"
+        assert report.hot[0].share > 0.5
+
+    def test_structure_recovered(self, figure1_report):
+        report, _ = figure1_report
+        analysis = report.object_by_name("Arr")
+        assert analysis is not None
+        assert analysis.recovered.size == FIGURE1_TYPE.size
+        assert set(analysis.recovered.offsets) == {0, 4, 8, 12}
+
+    def test_loop_table_separates_the_two_loops(self, figure1_report):
+        report, _ = figure1_report
+        analysis = report.object_by_name("Arr")
+        offset_sets = {
+            tuple(e.offsets) for e in analysis.loop_table.values()
+        }
+        assert (0, 8) in offset_sets
+        assert (4, 12) in offset_sets
+
+    def test_affinities_match_figure1(self, figure1_report):
+        report, _ = figure1_report
+        affinity = report.object_by_name("Arr").affinity
+        assert affinity.affinity(0, 8) == pytest.approx(1.0)
+        assert affinity.affinity(4, 12) == pytest.approx(1.0)
+        assert affinity.affinity(0, 4) == 0.0
+
+    def test_render_mentions_key_facts(self, figure1_report):
+        report, _ = figure1_report
+        text = report.render()
+        assert "Arr" in text
+        assert "element size: 16 bytes" in text
+
+    def test_advised_lists_splittable_objects(self, figure1_report):
+        report, _ = figure1_report
+        assert any(a.name == "Arr" for a in report.advised())
+
+    def test_object_by_name_misses_gracefully(self, figure1_report):
+        report, _ = figure1_report
+        assert report.object_by_name("ghost") is None
+
+
+class TestDerivePlans:
+    def test_plan_matches_figure1_split(self, figure1_report):
+        report, _ = figure1_report
+        plans = derive_plans(report, {"Arr": FIGURE1_TYPE})
+        groups = {frozenset(g) for g in plans["Arr"].groups}
+        assert groups == {frozenset({"a", "c"}), frozenset({"b", "d"})}
+
+    def test_unknown_struct_skipped(self, figure1_report):
+        report, _ = figure1_report
+        assert derive_plans(report, {}) == {}
+
+
+class FigureOneWorkload:
+    """Minimal Workload implementation for pipeline tests."""
+
+    name = "figure1"
+    num_threads = 1
+
+    def build_original(self):
+        return build_figure1(n=16384)
+
+    def build_split(self, plans):
+        return build_figure1(n=16384, plans=plans if plans else None)
+
+    def target_structs(self):
+        return {"Arr": FIGURE1_TYPE}
+
+
+class TestOptimizePipeline:
+    def test_full_cycle_improves_figure1(self):
+        result = optimize(FigureOneWorkload(), monitor=Monitor(sampling_period=97))
+        assert result.plans, "expected a split recommendation"
+        assert result.speedup > 1.0
+        assert result.miss_reduction["L1"] > 0
+        row = result.summary_row()
+        assert row["benchmark"] == "figure1"
+        assert row["speedup"] == result.speedup

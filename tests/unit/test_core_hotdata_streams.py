@@ -1,0 +1,96 @@
+"""Unit tests for the hot-data filter (Eq 1) and stream grouping."""
+
+import pytest
+
+from repro.core import (
+    NO_LOOP,
+    hot_data,
+    latency_share,
+    rank_data_objects,
+    streams_by_loop,
+    streams_of,
+    strided_streams,
+    total_unique_samples,
+)
+from repro.profiler import ThreadProfile
+
+
+def make_profile(latencies):
+    """latencies: {identity_suffix: latency}."""
+    profile = ThreadProfile(thread=0)
+    for name, latency in latencies.items():
+        profile.add_data_latency(("heap", name), latency)
+        profile.total_latency += latency
+    return profile
+
+
+class TestHotData:
+    def test_latency_share_is_eq1(self):
+        profile = make_profile({"A": 80.0, "B": 20.0})
+        assert latency_share(profile, ("heap", "A")) == pytest.approx(0.8)
+        assert latency_share(profile, ("heap", "C")) == 0.0
+
+    def test_empty_profile_share_is_zero(self):
+        assert latency_share(ThreadProfile(thread=0), ("heap", "A")) == 0.0
+
+    def test_ranking_descends(self):
+        profile = make_profile({"A": 10.0, "B": 50.0, "C": 40.0})
+        assert [e.name for e in rank_data_objects(profile)] == ["B", "C", "A"]
+
+    def test_top_three_rule(self):
+        profile = make_profile({c: float(i + 1) for i, c in enumerate("ABCDE")})
+        hot = hot_data(profile, top=3)
+        assert [e.name for e in hot] == ["E", "D", "C"]
+
+    def test_min_share_filters_noise(self):
+        profile = make_profile({"A": 1000.0, "B": 1.0})
+        hot = hot_data(profile, top=3, min_share=0.01)
+        assert [e.name for e in hot] == ["A"]
+
+    def test_share_values_sum_sensibly(self):
+        profile = make_profile({"A": 30.0, "B": 70.0})
+        assert sum(e.share for e in hot_data(profile)) == pytest.approx(1.0)
+
+
+class TestStreams:
+    def _profile(self):
+        profile = ThreadProfile(thread=0)
+        hot = profile.stream(1, 0, ("heap", "A"))
+        for addr in (0, 64, 128):
+            hot.update(addr, 1.0)
+        hot.loop_id = 7
+        unit = profile.stream(2, 0, ("heap", "A"))
+        for addr in (0, 1, 2):
+            unit.update(addr, 1.0)
+        unit.loop_id = 7
+        lone = profile.stream(3, 0, ("heap", "A"))
+        lone.update(42, 1.0)
+        other = profile.stream(4, 0, ("heap", "B"))
+        other.update(0, 1.0)
+        return profile
+
+    def test_streams_of_filters_identity(self):
+        profile = self._profile()
+        assert len(streams_of(profile, ("heap", "A"))) == 3
+        assert len(streams_of(profile, ("heap", "B"))) == 1
+
+    def test_strided_streams_require_non_unit_stride(self):
+        profile = self._profile()
+        voters = strided_streams(profile, ("heap", "A"))
+        assert len(voters) == 1
+        assert voters[0].stride == 64
+
+    def test_min_unique_threshold(self):
+        profile = self._profile()
+        assert strided_streams(profile, ("heap", "A"), min_unique=4) == []
+
+    def test_streams_by_loop_buckets(self):
+        profile = self._profile()
+        groups = streams_by_loop(profile, ("heap", "A"))
+        assert set(groups) == {7, NO_LOOP}
+        assert len(groups[7]) == 2
+        assert len(groups[NO_LOOP]) == 1
+
+    def test_total_unique_samples(self):
+        profile = self._profile()
+        assert total_unique_samples(streams_of(profile, ("heap", "A"))) == 7

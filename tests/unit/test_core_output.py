@@ -1,0 +1,91 @@
+"""Unit tests for the analyzer output package."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    OfflineAnalyzer,
+    plans_from_dict,
+    plans_to_dict,
+    read_plans,
+    write_outputs,
+)
+from repro.layout import SplitPlan, apply_split
+from repro.profiler import Monitor
+from repro.workloads import TREE
+
+from ..conftest import FIGURE1_TYPE, build_figure1
+
+
+@pytest.fixture(scope="module")
+def analyzed():
+    bound = build_figure1(n=4096)
+    run = Monitor(sampling_period=97).run(bound)
+    return run, OfflineAnalyzer().analyze(run)
+
+
+class TestWriteOutputs:
+    def test_minimal_package(self, analyzed, tmp_path):
+        _, report = analyzed
+        paths = write_outputs(report, tmp_path)
+        names = {p.name for p in paths}
+        assert "report.txt" in names
+        assert "Arr.dot" in names
+        assert (tmp_path / "report.txt").read_text().startswith("== StructSlim")
+
+    def test_full_package(self, analyzed, tmp_path):
+        run, report = analyzed
+        paths = write_outputs(
+            report, tmp_path, structs={"Arr": FIGURE1_TYPE}, run=run
+        )
+        names = {p.name for p in paths}
+        assert names >= {"report.txt", "Arr.dot", "plans.json",
+                         "structure.xml", "profile.json"}
+
+    def test_dot_file_is_the_advice_graph(self, analyzed, tmp_path):
+        _, report = analyzed
+        write_outputs(report, tmp_path)
+        dot = (tmp_path / "Arr.dot").read_text()
+        assert dot.startswith('graph "Arr"')
+
+    def test_structure_file_parses_back(self, analyzed, tmp_path):
+        from repro.binary import parse_structure
+
+        run, report = analyzed
+        write_outputs(report, tmp_path, run=run)
+        parsed = parse_structure((tmp_path / "structure.xml").read_text())
+        assert parsed.program == "figure1"
+        assert len(parsed.loops) == 2
+
+    def test_creates_missing_directories(self, analyzed, tmp_path):
+        _, report = analyzed
+        nested = tmp_path / "a" / "b"
+        write_outputs(report, nested)
+        assert (nested / "report.txt").exists()
+
+
+class TestPlansRoundTrip:
+    def test_json_roundtrip(self, tmp_path):
+        plans = {
+            "tree_nodes": SplitPlan(
+                TREE.name,
+                (("x", "y", "next"), ("sz", "left", "right", "prev")),
+            )
+        }
+        restored = plans_from_dict(plans_to_dict(plans))
+        assert restored["tree_nodes"].groups == plans["tree_nodes"].groups
+
+    def test_read_plans_from_package(self, analyzed, tmp_path):
+        _, report = analyzed
+        write_outputs(report, tmp_path, structs={"Arr": FIGURE1_TYPE})
+        plans = read_plans(tmp_path / "plans.json")
+        groups = {frozenset(g) for g in plans["Arr"].groups}
+        assert groups == {frozenset({"a", "c"}), frozenset({"b", "d"})}
+
+    def test_loaded_plans_are_applicable(self, analyzed, tmp_path):
+        _, report = analyzed
+        write_outputs(report, tmp_path, structs={"Arr": FIGURE1_TYPE})
+        plans = read_plans(tmp_path / "plans.json")
+        layout = apply_split(FIGURE1_TYPE, plans["Arr"])
+        assert len(layout.structs) == 2

@@ -1,0 +1,132 @@
+"""Unit tests for the array-regrouping extension (§7 future work)."""
+
+import pytest
+
+from repro.core import (
+    array_affinities,
+    collect_array_usage,
+    recommend_regrouping,
+)
+from repro.profiler import ThreadProfile
+
+
+def make_profile(spec):
+    """spec: {array_name: {loop_id: (latency, stride_base_addrs)}}.
+
+    Builds one stream per (array, loop) with the given latency and a
+    stride-8 address walk so every array has a recovered stride of 8.
+    """
+    profile = ThreadProfile(thread=0)
+    ip = 1
+    for array, loops in spec.items():
+        identity = ("heap", array)
+        total = 0.0
+        for loop_id, latency in loops.items():
+            stream = profile.stream(ip, 0, identity)
+            ip += 1
+            stream.loop_id = loop_id
+            stream.update(0, latency / 2)
+            stream.update(8, latency / 2)
+            total += latency
+        profile.add_data_latency(identity, total)
+        profile.total_latency += total
+    return profile
+
+
+class TestArrayUsage:
+    def test_collects_loops_and_strides(self):
+        profile = make_profile({"ax": {0: 10.0}, "ay": {0: 10.0}})
+        usages = collect_array_usage(profile)
+        assert {u.name for u in usages} == {"ax", "ay"}
+        for usage in usages:
+            assert usage.element_stride == 8
+            assert usage.loops == {0: 10.0}
+
+    def test_min_share_filters(self):
+        profile = make_profile({"big": {0: 100.0}, "tiny": {1: 0.5}})
+        usages = collect_array_usage(profile, min_share=0.05)
+        assert [u.name for u in usages] == [("big")]
+
+    def test_empty_profile(self):
+        assert collect_array_usage(ThreadProfile(thread=0)) == []
+
+
+class TestArrayAffinity:
+    def test_co_accessed_arrays_have_affinity_one(self):
+        profile = make_profile({"ax": {0: 10.0}, "ay": {0: 12.0}})
+        (link,) = array_affinities(collect_array_usage(profile))
+        assert link.affinity == pytest.approx(1.0)
+        assert link.common_loops == (0,)
+
+    def test_disjoint_arrays_have_affinity_zero(self):
+        profile = make_profile({"ax": {0: 10.0}, "mass": {1: 10.0}})
+        (link,) = array_affinities(collect_array_usage(profile))
+        assert link.affinity == 0.0
+
+    def test_partial_overlap_weighted_by_latency(self):
+        # ax and mass share loop 0 only for a small fraction of mass's
+        # latency: affinity = (10 + 2) / (10 + 20).
+        profile = make_profile({"ax": {0: 10.0}, "mass": {0: 2.0, 1: 18.0}})
+        (link,) = array_affinities(collect_array_usage(profile))
+        assert link.affinity == pytest.approx(0.4)
+
+
+class TestRecommendation:
+    def test_recommends_the_coaccessed_group_only(self):
+        profile = make_profile({
+            "ax": {0: 10.0}, "ay": {0: 10.0}, "az": {0: 10.0},
+            "mass": {1: 5.0},
+        })
+        (advice,) = recommend_regrouping(profile)
+        assert advice.names == ("ax", "ay", "az")
+        assert advice.affinity == pytest.approx(1.0)
+        assert "mass" not in advice.names
+
+    def test_no_recommendation_for_disjoint_arrays(self):
+        profile = make_profile({"a": {0: 1.0}, "b": {1: 1.0}})
+        assert recommend_regrouping(profile) == []
+
+    def test_incompatible_strides_not_grouped(self):
+        profile = make_profile({"ax": {0: 10.0}, "ay": {0: 10.0}})
+        # Rewrite ay's stream to a 16-byte stride.
+        identity = ("heap", "ay")
+        for stream in profile.streams.values():
+            if stream.data_identity == identity:
+                stream.stride = 16
+        assert recommend_regrouping(profile) == []
+
+    def test_describe_mentions_members(self):
+        profile = make_profile({"a": {0: 1.0}, "b": {0: 1.0}})
+        (advice,) = recommend_regrouping(profile)
+        assert "regroup [a, b]" in advice.describe()
+
+
+class TestRegroupingWorkload:
+    def test_end_to_end_advice_and_speedup(self):
+        from repro.core import OfflineAnalyzer
+        from repro.memsim import speedup
+        from repro.profiler import Monitor
+        from repro.workloads import RegroupingWorkload
+
+        workload = RegroupingWorkload(scale=0.5)
+        monitor = Monitor(sampling_period=workload.recommended_period)
+        run = monitor.run(workload.build_original())
+        (advice,) = recommend_regrouping(run.merged)
+        assert set(advice.names) == {"ax", "ay", "az"}
+
+        regrouped = monitor.run_unmonitored(
+            workload.build_regrouped(advice.names)
+        )
+        assert speedup(run.metrics, regrouped) > 1.1
+
+    def test_structure_splitting_sees_no_candidate_here(self):
+        # The dual check: a pure-SoA program offers nothing to split.
+        from repro.core import OfflineAnalyzer, derive_plans
+        from repro.profiler import Monitor
+        from repro.workloads import RegroupingWorkload
+
+        workload = RegroupingWorkload(scale=0.25)
+        monitor = Monitor(sampling_period=workload.recommended_period)
+        run = monitor.run(workload.build_original())
+        report = OfflineAnalyzer().analyze(run)
+        assert derive_plans(report, {}) == {}

@@ -1,0 +1,122 @@
+"""Unit tests for the GCD stride algorithm and Eq 4 accuracy theory."""
+
+import pytest
+
+from repro.core import (
+    accuracy_lower_bound,
+    empirical_accuracy,
+    exact_accuracy,
+    gcd_stride,
+    is_strided,
+    unique_in_order,
+)
+from repro.core.stride import corrected_accuracy
+
+
+class TestGcdStride:
+    def test_regular_stride_recovered(self):
+        assert gcd_stride([0, 64, 128, 192]) == 64
+
+    def test_gaps_still_give_gcd(self):
+        # Sampled Arr[2].a, Arr[5].a, Arr[7].a with 16-byte structs:
+        # diffs 48 and 32, gcd 16 (the paper's worked example).
+        assert gcd_stride([32, 80, 112]) == 16
+
+    def test_descending_addresses_use_absolute_diffs(self):
+        assert gcd_stride([192, 128, 64, 0]) == 64
+
+    def test_mixed_direction(self):
+        assert gcd_stride([128, 0, 192]) == 64
+
+    def test_fewer_than_two_unique_is_zero(self):
+        assert gcd_stride([]) == 0
+        assert gcd_stride([42]) == 0
+        assert gcd_stride([42, 42, 42]) == 0
+
+    def test_duplicates_ignored(self):
+        assert gcd_stride([0, 64, 0, 64, 128]) == 64
+
+    def test_coprime_gaps_give_exact_stride(self):
+        # gaps 2 and 3 are coprime: gcd(2s, 3s) = s.
+        assert gcd_stride([0, 2 * 40, 5 * 40]) == 40
+
+    def test_aliased_gaps_overestimate(self):
+        # All gaps even: the stride comes out as a multiple (the failure
+        # mode Eq 4 bounds).
+        assert gcd_stride([0, 2 * 16, 4 * 16, 8 * 16]) == 32
+
+    def test_irregular_pattern_collapses_toward_small_stride(self):
+        addrs = [0, 7, 13, 24, 31]
+        assert gcd_stride(addrs) in (1, gcd_stride(addrs))
+        assert gcd_stride(addrs) < 7
+
+    def test_unique_in_order(self):
+        assert unique_in_order([3, 1, 3, 2, 1]) == [3, 1, 2]
+
+    def test_is_strided(self):
+        assert is_strided(16)
+        assert not is_strided(1)
+        assert not is_strided(0)
+
+
+class TestAccuracyBound:
+    def test_bound_increases_with_k(self):
+        values = [accuracy_lower_bound(k) for k in range(2, 12)]
+        assert values == sorted(values)
+
+    def test_paper_claim_k_10_is_above_99_percent(self):
+        assert accuracy_lower_bound(10) > 0.99
+
+    def test_k_2_matches_prime_sum(self):
+        # 1 - (1/4 + 1/9 + 1/25 + ...) = 2 - P(2) where P is the prime
+        # zeta function; numerically ~0.5475.
+        assert accuracy_lower_bound(2) == pytest.approx(0.5475, abs=1e-3)
+
+    def test_single_sample_is_uninformative(self):
+        assert accuracy_lower_bound(1) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            accuracy_lower_bound(0)
+
+
+class TestExactAccuracy:
+    def test_matches_bound_direction(self):
+        for k in (3, 5, 8):
+            assert exact_accuracy(1000, k) >= accuracy_lower_bound(k) - 1e-9
+
+    def test_exhaustive_k_equals_n(self):
+        # Sampling every address always recovers the stride.
+        assert exact_accuracy(10, 10) == pytest.approx(1.0)
+
+    def test_corrected_is_no_higher_than_paper_form(self):
+        for k in (3, 4, 6, 10):
+            assert corrected_accuracy(2000, k) <= exact_accuracy(2000, k) + 1e-12
+
+    def test_over_sampling_rejected(self):
+        with pytest.raises(ValueError):
+            exact_accuracy(5, 6)
+
+
+class TestEmpiricalAccuracy:
+    def test_high_k_recovers_stride_nearly_always(self):
+        acc = empirical_accuracy(5000, 12, trials=300, true_stride=64)
+        assert acc > 0.97
+
+    def test_corrected_form_tracks_measurement(self):
+        # The class-corrected Eq 4 should predict the simulated GCD
+        # accuracy within a few points; the paper's aligned-class form
+        # overestimates at small k.
+        measured = empirical_accuracy(4000, 5, trials=1500, true_stride=16)
+        assert corrected_accuracy(4000, 5) == pytest.approx(measured, abs=0.05)
+
+    def test_trials_reproducible_with_rng(self):
+        import random
+
+        a = empirical_accuracy(1000, 4, trials=200, rng=random.Random(1))
+        b = empirical_accuracy(1000, 4, trials=200, rng=random.Random(1))
+        assert a == b
+
+    def test_over_sampling_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_accuracy(4, 5)

@@ -1,0 +1,88 @@
+"""Unit tests for the Table 3/4 builders and the evaluation orchestrator."""
+
+import pytest
+
+from repro.core.pipeline import OptimizationResult
+from repro.experiments import (
+    EvaluationReport,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    Table,
+    run_benchmark,
+    run_complete_evaluation,
+    table3,
+    table4,
+)
+from repro.memsim import RunMetrics
+
+
+def fake_result(name, orig_cycles, opt_cycles, overhead=3.0):
+    original = RunMetrics(name=name, cycles=orig_cycles, l1_misses=100,
+                          l2_misses=50, l3_misses=10, accesses=1000)
+    optimized = RunMetrics(name=name, cycles=opt_cycles, l1_misses=40,
+                           l2_misses=10, l3_misses=9, accesses=1000)
+
+    class _Profiled:
+        overhead_percent = overhead
+
+    return OptimizationResult(
+        workload=name, report=None, plans={}, original=original,
+        optimized=optimized, profiled=_Profiled(),
+    )
+
+
+class TestTableBuilders:
+    def test_table3_rows_and_average(self):
+        results = {
+            "179.ART": fake_result("179.ART", 200.0, 100.0),
+            "TSP": fake_result("TSP", 110.0, 100.0),
+        }
+        table = table3(results)
+        assert table.column("benchmark") == ["179.ART", "TSP", "average"]
+        speedups = table.column("speedup")
+        assert speedups[0] == pytest.approx(2.0)
+        assert speedups[-1] == pytest.approx(1.55)  # mean of 2.0 and 1.1
+
+    def test_table3_carries_paper_columns(self):
+        results = {"179.ART": fake_result("179.ART", 2.0, 1.0)}
+        table = table3(results)
+        assert table.column("paper speedup")[0] == PAPER_TABLE3["179.ART"][0]
+
+    def test_table4_reductions(self):
+        results = {"NN": fake_result("NN", 2.0, 1.0)}
+        table = table4(results)
+        row = table.rows[0]
+        assert row[1] == pytest.approx(60.0)   # L1: 100 -> 40
+        assert row[2] == pytest.approx(80.0)   # L2: 50 -> 10
+        assert row[4] == PAPER_TABLE4["NN"][0]
+
+    def test_run_benchmark_produces_full_result(self):
+        result = run_benchmark("462.libquantum", scale=0.15)
+        assert result.workload == "462.libquantum"
+        assert result.speedup > 1.0
+        assert result.report.hot
+
+
+class TestEvaluationReport:
+    def test_sections_render_in_order(self):
+        report = EvaluationReport()
+        a = Table("first", ["x"])
+        a.add_row(1)
+        b = Table("second", ["y"])
+        b.add_row(2)
+        report.add("a", a)
+        report.add("b", b)
+        text = report.render()
+        assert text.index("first") < text.index("second")
+
+    def test_complete_evaluation_small(self):
+        messages = []
+        report = run_complete_evaluation(
+            scale=0.15, include_suites=False, progress=messages.append
+        )
+        assert {"table3", "table4", "table5", "table6", "figure6", "eq4"} <= set(
+            report.tables
+        )
+        assert any("optimization" in m for m in messages)
+        text = report.render()
+        assert "Table 3" in text and "Eq 4" in text

@@ -1,0 +1,104 @@
+"""Unit tests for repro.layout.types (x86-64 ABI primitives)."""
+
+import pytest
+
+from repro.layout import (
+    CHAR,
+    COMPLEX_FLOAT,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    MAX_UNSIGNED,
+    POINTER,
+    SHORT,
+    PrimitiveType,
+    align_up,
+    array_of,
+    primitive,
+)
+
+
+class TestPrimitiveSizes:
+    def test_char_is_one_byte(self):
+        assert CHAR.size == 1
+        assert CHAR.align == 1
+
+    def test_int_is_four_bytes(self):
+        assert INT.size == 4
+        assert INT.align == 4
+
+    def test_long_and_pointer_are_eight_bytes(self):
+        assert LONG.size == 8
+        assert POINTER.size == 8
+        assert POINTER.align == 8
+
+    def test_double_is_eight_bytes(self):
+        assert DOUBLE.size == 8
+        assert DOUBLE.align == 8
+
+    def test_libquantum_complex_float_is_two_floats(self):
+        # float _Complex: 8 bytes but only float (4-byte) alignment.
+        assert COMPLEX_FLOAT.size == 8
+        assert COMPLEX_FLOAT.align == 4
+
+    def test_max_unsigned_is_unsigned_long_long(self):
+        assert MAX_UNSIGNED.size == 8
+
+
+class TestPrimitiveValidation:
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            PrimitiveType("bad", 0, 1)
+
+    def test_rejects_non_power_of_two_alignment(self):
+        with pytest.raises(ValueError):
+            PrimitiveType("bad", 4, 3)
+
+    def test_rejects_negative_alignment(self):
+        with pytest.raises(ValueError):
+            PrimitiveType("bad", 4, -4)
+
+    def test_str_is_c_spelling(self):
+        assert str(INT) == "int"
+        assert str(POINTER) == "void*"
+
+
+class TestLookup:
+    def test_primitive_by_name(self):
+        assert primitive("double") is DOUBLE
+        assert primitive("short") is SHORT
+
+    def test_unknown_name_raises_with_candidates(self):
+        with pytest.raises(KeyError, match="unknown primitive"):
+            primitive("quaternion")
+
+
+class TestArrayOf:
+    def test_char_array_size(self):
+        entry = array_of(CHAR, 48)
+        assert entry.size == 48
+        assert entry.align == 1
+        assert entry.name == "char[48]"
+
+    def test_element_alignment_is_inherited(self):
+        arr = array_of(FLOAT, 3)
+        assert arr.size == 12
+        assert arr.align == 4
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            array_of(CHAR, 0)
+
+
+class TestAlignUp:
+    @pytest.mark.parametrize(
+        "value,alignment,expected",
+        [(0, 8, 0), (1, 8, 8), (8, 8, 8), (9, 8, 16), (13, 4, 16), (63, 64, 64)],
+    )
+    def test_rounds_to_next_multiple(self, value, alignment, expected):
+        assert align_up(value, alignment) == expected
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            align_up(5, 12)

@@ -1,0 +1,107 @@
+"""Unit tests for the MESI coherence directory."""
+
+import pytest
+
+from repro.memsim import HierarchyConfig, MemoryHierarchy, MESIDirectory
+from repro.memsim.coherence import EXCLUSIVE, MODIFIED, SHARED
+
+
+class TestDirectoryStates:
+    def test_first_reader_gets_exclusive(self):
+        d = MESIDirectory()
+        assert d.read(0, 100) == 0.0
+        assert d.state(0, 100) == EXCLUSIVE
+
+    def test_second_reader_shares(self):
+        d = MESIDirectory()
+        d.read(0, 100)
+        d.read(1, 100)
+        assert d.state(0, 100) == SHARED
+        assert d.state(1, 100) == SHARED
+
+    def test_writer_takes_modified_and_invalidates(self):
+        d = MESIDirectory()
+        d.read(0, 100)
+        d.read(1, 100)
+        extra = d.write(1, 100)
+        assert d.state(1, 100) == MODIFIED
+        assert d.state(0, 100) is None
+        assert d.stats.invalidations == 1
+        assert extra == d.upgrade_latency  # S -> M upgrade
+
+    def test_read_of_dirty_line_forwards_and_writes_back(self):
+        d = MESIDirectory()
+        d.write(0, 100)
+        extra = d.read(1, 100)
+        assert extra == d.c2c_latency
+        assert d.stats.writebacks == 1
+        assert d.state(0, 100) == SHARED
+        assert d.state(1, 100) == SHARED
+
+    def test_write_hit_in_modified_is_free(self):
+        d = MESIDirectory()
+        d.write(0, 100)
+        assert d.write(0, 100) == 0.0
+        assert d.stats.upgrades == 0
+
+    def test_write_steals_dirty_line(self):
+        d = MESIDirectory()
+        d.write(0, 100)
+        extra = d.write(1, 100)
+        assert extra == d.c2c_latency
+        assert d.stats.writebacks == 1
+        assert d.state(0, 100) is None
+        assert d.state(1, 100) == MODIFIED
+
+    def test_evicting_dirty_line_writes_back(self):
+        d = MESIDirectory()
+        d.write(0, 100)
+        d.evict(0, 100)
+        assert d.stats.writebacks == 1
+        assert d.state(0, 100) is None
+
+    def test_evicting_clean_line_is_silent(self):
+        d = MESIDirectory()
+        d.read(0, 100)
+        d.evict(0, 100)
+        assert d.stats.writebacks == 0
+
+
+class TestHierarchyCoherence:
+    def _hier(self):
+        return MemoryHierarchy(HierarchyConfig.small(), num_cores=2)
+
+    def test_ping_pong_costs_more_than_private_writes(self):
+        shared = self._hier()
+        for k in range(50):
+            shared.access(k % 2, 0x1000, 8, True)  # two cores fight
+        private = self._hier()
+        for k in range(50):
+            private.access(0, 0x1000, 8, True)     # one core owns it
+        assert shared.invalidations > 0
+        assert private.invalidations == 0
+
+    def test_false_sharing_is_visible(self):
+        """Two cores writing adjacent fields in one line invalidate each
+        other — the pathology structure splitting can also fix."""
+        hier = self._hier()
+        for k in range(20):
+            hier.access(0, 0x2000, 8, True)      # field A
+            hier.access(1, 0x2008, 8, True)      # field B, same line
+        summary = hier.miss_summary()
+        assert summary["invalidations"] >= 19
+        assert summary["cache_to_cache"] > 0
+
+    def test_read_sharing_costs_nothing_extra(self):
+        hier = self._hier()
+        hier.access(0, 0x3000, 8, False)
+        hier.access(1, 0x3000, 8, False)
+        base = hier.access(0, 0x3000, 8, False)
+        assert base == hier.config.l1.latency
+        assert hier.invalidations == 0
+
+    def test_writeback_counted_in_summary(self):
+        hier = self._hier()
+        hier.access(0, 0x4000, 8, True)
+        hier.access(1, 0x4000, 8, False)
+        assert hier.miss_summary()["writebacks"] >= 1

@@ -1,0 +1,80 @@
+"""Unit tests for the Table 1 PMUs without a latency facility.
+
+The paper's claim: DEAR / Pentium4-PEBS / MRK capture IP and address
+but no latency, which is why StructSlim requires PEBS-LL or IBS. These
+tests verify the degradation is exactly as stated: address-based
+recovery (size, offsets) still works; latency-weighted metrics
+collapse to counts.
+"""
+
+import pytest
+
+from repro.core import OfflineAnalyzer
+from repro.profiler import Monitor
+from repro.program import MemoryAccess
+from repro.sampling import (
+    DEARSampler,
+    MRKSampler,
+    PEBSLoadLatencySampler,
+    Pentium4PEBSSampler,
+)
+
+from ..conftest import build_figure1
+
+
+def access(addr, write=False):
+    return MemoryAccess(0, 0x400000, addr, 8, write, 1, 0)
+
+
+class TestUnitLatencyCapture:
+    @pytest.mark.parametrize("sampler_cls", [DEARSampler, MRKSampler,
+                                             Pentium4PEBSSampler])
+    def test_latency_degraded_to_unit(self, sampler_cls):
+        sampler = sampler_cls(period=1, jitter=0.0)
+        sampler.observe(access(0x1000), 220.0)
+        (sample,) = sampler.samples
+        assert sample.latency == 1.0
+
+    def test_loads_only_flags_match_hardware(self):
+        dear = DEARSampler(period=1, jitter=0.0)
+        dear.observe(access(0x1000, write=True), 50.0)
+        assert dear.sample_count == 0  # DEAR watches loads
+
+        p4 = Pentium4PEBSSampler(period=1, jitter=0.0)
+        p4.observe(access(0x1000, write=True), 50.0)
+        assert p4.sample_count == 1  # P4 PEBS tags stores too
+
+
+class TestAnalysisDegradation:
+    def _report(self, sampler_cls):
+        bound = build_figure1(n=8192)
+        monitor = Monitor(sampling_period=67, sampler_cls=sampler_cls)
+        run = monitor.run(bound)
+        return OfflineAnalyzer().analyze(run)
+
+    def test_structure_recovery_survives_without_latency(self):
+        report = self._report(MRKSampler)
+        analysis = report.object_by_name("Arr")
+        assert analysis is not None
+        assert analysis.recovered.size == 16
+        assert set(analysis.recovered.offsets) == {0, 4, 8, 12}
+
+    def test_affinity_becomes_count_weighted(self):
+        # On Figure 1 (uniform access counts) the clusters still come
+        # out right -- the metrics are counts now, but counts and
+        # latency agree here. The affinity ablation covers where they
+        # disagree.
+        report = self._report(DEARSampler)
+        affinity = report.object_by_name("Arr").affinity
+        assert affinity.affinity(0, 8) == pytest.approx(1.0)
+        assert affinity.affinity(0, 4) == 0.0
+
+    def test_latency_shares_lose_meaning(self):
+        """With unit latencies, 'latency share' is just sample share."""
+        pebs = self._report(PEBSLoadLatencySampler)
+        mrk = self._report(MRKSampler)
+        pebs_total = pebs.total_latency
+        mrk_total = mrk.total_latency
+        # PEBS-LL totals are cycles (big); MRK totals equal sample count.
+        assert pebs_total > 3 * mrk_total
+        assert mrk_total == pytest.approx(mrk.sample_count)

@@ -1,0 +1,105 @@
+"""Unit tests for LayoutBinding and WorkloadBuilder."""
+
+import pytest
+
+from repro.layout import DOUBLE, INT, SplitPlan, StructType, apply_split
+from repro.program import (
+    Access,
+    Function,
+    LayoutBinding,
+    WorkloadBuilder,
+    affine,
+    memory_accesses,
+    run,
+)
+
+TRIPLE = StructType("triple", [("a", INT), ("b", INT), ("c", DOUBLE)])
+
+
+class TestLayoutBinding:
+    def test_whole_array_binding_routes_every_field(self):
+        builder = WorkloadBuilder("t")
+        arr = builder.add_aos(TRIPLE, 8, name="T")
+        for field in ("a", "b", "c"):
+            aos, resolved = builder.bindings.resolve("T", field)
+            assert aos is arr and resolved == field
+
+    def test_scalar_binding_answers_none_field(self):
+        builder = WorkloadBuilder("t")
+        arr = builder.add_scalar("S", DOUBLE, 8)
+        aos, resolved = builder.bindings.resolve("S", None)
+        assert aos is arr and resolved == "val"
+
+    def test_missing_binding_raises_with_known_arrays(self):
+        binding = LayoutBinding()
+        with pytest.raises(KeyError, match="no binding"):
+            binding.resolve("ghost", "x")
+
+    def test_split_binding_routes_fields_to_their_group_arrays(self):
+        builder = WorkloadBuilder("t", variant="split")
+        plan = SplitPlan(TRIPLE.name, (("a", "c"), ("b",)))
+        arrays = builder.add_split_aos(apply_split(TRIPLE, plan), 8, name="T")
+        aos_a, _ = builder.bindings.resolve("T", "a")
+        aos_b, _ = builder.bindings.resolve("T", "b")
+        aos_c, _ = builder.bindings.resolve("T", "c")
+        assert aos_a is arrays[0] and aos_c is arrays[0]
+        assert aos_b is arrays[1]
+        assert builder.bindings.backing_arrays("T") == tuple(arrays)
+
+    def test_bind_field_rejects_target_without_field(self):
+        builder = WorkloadBuilder("t")
+        arr = builder.add_scalar("S", DOUBLE, 8)
+        with pytest.raises(KeyError):
+            builder.bindings.bind_field("S", "nope", arr)
+
+
+class TestWorkloadBuilder:
+    def test_build_finalizes_and_validates(self):
+        builder = WorkloadBuilder("t")
+        builder.add_aos(TRIPLE, 8, name="T")
+        loop = Access(line=1, array="T", field="a", index=affine("i"))
+        from repro.program import Loop
+
+        bound = builder.build([Function("main", [
+            Loop(line=1, var="i", start=0, stop=2, body=[loop])
+        ])])
+        assert bound.program.finalized
+        assert bound.name == "t"
+
+    def test_unbound_access_fails_at_build(self):
+        builder = WorkloadBuilder("t")
+        from repro.program import Loop
+
+        body = [Loop(line=1, var="i", start=0, stop=2, body=[
+            Access(line=2, array="ghost", field="x", index=affine("i")),
+        ])]
+        with pytest.raises(KeyError):
+            builder.build([Function("main", body)])
+
+    def test_same_ir_different_layouts_give_different_addresses(self):
+        def build(split):
+            builder = WorkloadBuilder("t")
+            if split:
+                plan = SplitPlan(TRIPLE.name, (("a",), ("b", "c")))
+                builder.add_split_aos(apply_split(TRIPLE, plan), 8, name="T")
+            else:
+                builder.add_aos(TRIPLE, 8, name="T")
+            from repro.program import Loop
+
+            return builder.build([Function("main", [
+                Loop(line=1, var="i", start=0, stop=8, body=[
+                    Access(line=2, array="T", field="a", index=affine("i")),
+                ])
+            ])])
+
+        original = [e.address for e in memory_accesses(run(build(False)))]
+        split = [e.address for e in memory_accesses(run(build(True)))]
+        # Original walks at the 16-byte struct stride, split at 4 bytes.
+        assert original[1] - original[0] == TRIPLE.size
+        assert split[1] - split[0] == 4
+
+    def test_invalid_scale_rejected(self):
+        from repro.workloads import ArtWorkload
+
+        with pytest.raises(ValueError):
+            ArtWorkload(scale=0)

@@ -1,0 +1,51 @@
+"""Unit tests for calling-context interning and trace helpers."""
+
+from repro.program import (
+    ComputeBurst,
+    ContextTable,
+    MemoryAccess,
+    ROOT_CONTEXT,
+    count_accesses,
+    memory_accesses,
+)
+
+
+class TestContextTable:
+    def test_root_is_preinterned(self):
+        table = ContextTable()
+        assert table.intern(()) == ROOT_CONTEXT
+        assert table.path(ROOT_CONTEXT) == ()
+
+    def test_extend_builds_call_chains(self):
+        table = ContextTable()
+        child = table.extend(ROOT_CONTEXT, 0x400010)
+        grandchild = table.extend(child, 0x400020)
+        assert table.path(grandchild) == (0x400010, 0x400020)
+
+    def test_interning_is_idempotent(self):
+        table = ContextTable()
+        a = table.intern((1, 2))
+        b = table.intern((1, 2))
+        assert a == b
+        assert len(table) == 2  # root + one path
+
+    def test_contains(self):
+        table = ContextTable()
+        ctx = table.intern((9,))
+        assert ctx in table
+        assert 999 not in table
+        assert "x" not in table
+
+
+class TestTraceHelpers:
+    def _mixed(self):
+        access = MemoryAccess(0, 0x400000, 0x1000, 8, False, 1, 0)
+        return [access, ComputeBurst(0, 3.0), access]
+
+    def test_memory_accesses_filters_bursts(self):
+        events = list(memory_accesses(self._mixed()))
+        assert len(events) == 2
+        assert all(isinstance(e, MemoryAccess) for e in events)
+
+    def test_count_accesses(self):
+        assert count_accesses(self._mixed()) == 2

@@ -1,0 +1,187 @@
+"""Unit tests for the workload-definition DSL."""
+
+import pytest
+
+from repro.program import (
+    Access,
+    Affine,
+    Const,
+    DslError,
+    Loop,
+    memory_accesses,
+    parse_workload,
+    run,
+)
+
+FIGURE1 = """
+struct type { int a; int b; int c; int d; }
+
+array Arr: type[256] @ main/init
+scalar B: int[256]
+
+loop 4-5 x2:
+    read Arr.a[i]
+    read Arr.c[i]
+    write B[i]
+
+loop 7 parallel compute 5:
+    read Arr.b[i]
+"""
+
+
+class TestParsing:
+    def test_figure1_parses_and_runs(self):
+        bound = parse_workload(FIGURE1)
+        accesses = list(memory_accesses(run(bound)))
+        # loop1: 2 reps x 256 x 3; loop2: 1 x 256 x 1
+        assert len(accesses) == 2 * 256 * 3 + 256
+
+    def test_struct_layout_follows_declaration(self):
+        bound = parse_workload(FIGURE1)
+        aos, field = bound.bindings.resolve("Arr", "c")
+        assert aos.struct.size == 16
+        assert aos.struct.offset_of("c") == 8
+
+    def test_call_path_recorded(self):
+        bound = parse_workload(FIGURE1)
+        aos, _ = bound.bindings.resolve("Arr", "a")
+        assert aos.allocation.call_path == ("main", "init")
+
+    def test_loop_metadata(self):
+        bound = parse_workload(FIGURE1)
+        inner_loops = [
+            l for l in bound.program.loops() if any(
+                isinstance(s, Access) for s in l.body
+            )
+        ]
+        first = next(l for l in inner_loops if l.line == 4)
+        assert first.line_range == (4, 5)
+        second = next(l for l in inner_loops if l.line == 7)
+        assert second.parallel
+
+    def test_write_flag(self):
+        bound = parse_workload(FIGURE1)
+        writes = [a for a in bound.program.accesses() if a.is_write]
+        assert len(writes) == 1
+        assert writes[0].array == "B"
+
+    def test_compute_attached(self):
+        bound = parse_workload(FIGURE1)
+        from repro.program import trace_stats
+
+        _, compute = trace_stats(bound)
+        assert compute == 5.0 * 256  # one compute burst on loop 7
+
+    def test_multiline_struct_declaration(self):
+        bound = parse_workload("""
+struct body { double px; double py;
+              double vx; double vy; }
+
+array bodies: body[16]
+
+loop 1:
+    read bodies.vy[i]
+""")
+        aos, _ = bound.bindings.resolve("bodies", "vy")
+        assert aos.struct.size == 32
+        assert aos.struct.offset_of("vy") == 24
+
+    def test_comments_and_blank_lines_ignored(self):
+        bound = parse_workload("""
+        # leading comment
+        scalar S: double[8]   # trailing comment
+
+        loop 1:
+            read S[i]
+        """.replace("\n        ", "\n"))
+        assert len(list(memory_accesses(run(bound)))) == 8
+
+
+class TestIndexExpressions:
+    @pytest.mark.parametrize("text,expected", [
+        ("i", Affine("i", 1, 0)),
+        ("i+3", Affine("i", 1, 3)),
+        ("i-2", Affine("i", 1, -2)),
+        ("2*i", Affine("i", 2, 0)),
+        ("2*i+1", Affine("i", 2, 1)),
+        ("7", Const(7)),
+    ])
+    def test_affine_forms(self, text, expected):
+        bound = parse_workload(f"""
+scalar S: double[64]
+
+loop 1:
+    read S[{text}]
+""")
+        (access,) = bound.program.accesses()
+        assert access.index == expected
+
+    def test_strided_index_shrinks_trip_count(self):
+        bound = parse_workload("""
+scalar S: double[64]
+
+loop 1:
+    read S[2*i+1]
+""")
+        accesses = list(memory_accesses(run(bound)))
+        assert len(accesses) == 32  # 2i+1 <= 63
+
+    def test_bad_index_rejected(self):
+        with pytest.raises(DslError, match="index expression"):
+            parse_workload("scalar S: double[8]\n\nloop 1:\n    read S[j*j]\n")
+
+
+class TestErrors:
+    def test_unknown_struct(self):
+        with pytest.raises(DslError, match="unknown struct"):
+            parse_workload("array A: ghost[8]\n\nloop 1:\n    read A.x[i]\n")
+
+    def test_unknown_primitive(self):
+        with pytest.raises(DslError, match="unknown primitive"):
+            parse_workload("scalar S: quaternion[8]\n\nloop 1:\n    read S[i]\n")
+
+    def test_access_outside_loop(self):
+        with pytest.raises(DslError, match="outside any loop"):
+            parse_workload("scalar S: double[8]\n    read S[i]\n")
+
+    def test_empty_loop(self):
+        with pytest.raises(DslError, match="no body"):
+            parse_workload("scalar S: double[8]\n\nloop 1:\n\nloop 2:\n    read S[i]\n")
+
+    def test_no_loops(self):
+        with pytest.raises(DslError, match="no loops"):
+            parse_workload("scalar S: double[8]\n")
+
+    def test_garbage_line(self):
+        with pytest.raises(DslError, match="unrecognized"):
+            parse_workload("please split my structs\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(DslError) as excinfo:
+            parse_workload("scalar S: double[8]\nbogus\n")
+        assert "line 2" in str(excinfo.value)
+
+
+class TestEndToEnd:
+    def test_dsl_workload_through_full_pipeline(self):
+        from repro.core import OfflineAnalyzer, derive_plans
+        from repro.layout import INT, StructType
+        from repro.profiler import Monitor
+
+        bound = parse_workload("""
+struct pair { int hot; int cold; }
+
+array P: pair[8192]
+
+loop 10 x8:
+    read P.hot[i]
+
+loop 20:
+    read P.cold[i]
+""")
+        run_ = Monitor(sampling_period=67).run(bound)
+        report = OfflineAnalyzer().analyze(run_)
+        pair = StructType("pair", [("hot", INT), ("cold", INT)])
+        plans = derive_plans(report, {"P": pair})
+        groups = {frozenset(g) for g in plans["P"].groups}
+        assert groups == {frozenset({"hot"}), frozenset({"cold"})}

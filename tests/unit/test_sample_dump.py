@@ -1,0 +1,116 @@
+"""Unit tests for raw sample dumps and data-source reporting."""
+
+import pytest
+
+from repro.binary import LoopMap
+from repro.core import OfflineAnalyzer
+from repro.profiler import DataObjectRegistry, Monitor, ProfileCollector
+from repro.sampling import (
+    AddressSample,
+    iter_samples,
+    load_samples,
+    save_samples,
+)
+
+from ..conftest import build_figure1
+
+
+def make_samples(n=20):
+    return [
+        AddressSample(i, i % 2, 0x400000 + i * 16, 0x1000 + i * 64, 8,
+                      bool(i % 3 == 0), float(4 + i), 10 + i, 0)
+        for i in range(n)
+    ]
+
+
+class TestDumpRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "samples.jsonl"
+        originals = make_samples()
+        assert save_samples(originals, path) == len(originals)
+        assert load_samples(path) == originals
+
+    def test_iter_streams_lazily(self, tmp_path):
+        path = tmp_path / "samples.jsonl"
+        save_samples(make_samples(5), path)
+        iterator = iter_samples(path)
+        first = next(iterator)
+        assert isinstance(first, AddressSample)
+        assert len(list(iterator)) == 4
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.txt"
+        path.write_text("hello world\n")
+        with pytest.raises(ValueError, match="not a sample dump"):
+            load_samples(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        path.write_text('{"format": "repro-address-samples", "version": 99}\n')
+        with pytest.raises(ValueError, match="version"):
+            load_samples(path)
+
+    def test_empty_dump(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        save_samples([], path)
+        assert load_samples(path) == []
+
+
+class TestReplayThroughCollector:
+    def test_dumped_samples_reproduce_the_analysis(self, tmp_path):
+        bound = build_figure1(n=4096)
+        monitor = Monitor(sampling_period=97)
+        run = monitor.run(bound)
+
+        # Capture the raw samples again by re-running the sampler path:
+        # Monitor discards them after collection, so simulate directly.
+        from repro.memsim import simulate
+        from repro.program import Interpreter
+        from repro.sampling import PEBSLoadLatencySampler
+
+        sampler = PEBSLoadLatencySampler(97, seed=0)
+        simulate(Interpreter(bound).run(), observer=sampler.observe)
+        path = tmp_path / "fig1.jsonl"
+        save_samples(sampler.samples, path)
+
+        collector = ProfileCollector(
+            DataObjectRegistry.from_address_space(bound.space),
+            LoopMap(bound.program),
+            program_name="figure1",
+        )
+        profiles = collector.collect(iter_samples(path))
+        replayed = OfflineAnalyzer().analyze_profile(
+            list(profiles.values())[0], loop_map=run.loop_map,
+        )
+        direct = OfflineAnalyzer().analyze(run)
+        assert (replayed.object_by_name("Arr").recovered.size
+                == direct.object_by_name("Arr").recovered.size)
+
+
+class TestDataSourceReporting:
+    def test_stream_source_counts_collected(self):
+        bound = build_figure1(n=8192)
+        run = Monitor(sampling_period=67).run(bound)
+        sources = {}
+        for stream in run.merged.streams.values():
+            for source, count in stream.source_counts.items():
+                sources[source] = sources.get(source, 0) + count
+        assert sum(sources.values()) == run.sample_count
+        assert set(sources) <= {"L1", "L2", "L3", "DRAM"}
+
+    def test_report_renders_source_breakdown(self):
+        bound = build_figure1(n=8192)
+        run = Monitor(sampling_period=67).run(bound)
+        text = OfflineAnalyzer().analyze(run).render()
+        assert "sample data sources:" in text
+
+    def test_source_counts_survive_profile_files(self, tmp_path):
+        from repro.profiler import ThreadProfile
+
+        bound = build_figure1(n=2048)
+        run = Monitor(sampling_period=67).run(bound)
+        path = tmp_path / "p.json"
+        run.profiles[0].save(path)
+        loaded = ThreadProfile.load(path)
+        for key, stream in run.profiles[0].streams.items():
+            assert loaded.streams[key].source_counts == stream.source_counts

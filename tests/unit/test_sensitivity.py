@@ -1,0 +1,51 @@
+"""Unit tests for the sampling-period sensitivity experiment."""
+
+import pytest
+
+from repro.experiments import (
+    PeriodPoint,
+    sensitivity_table,
+    stable_period_range,
+    sweep_sampling_period,
+)
+from repro.workloads import LibquantumWorkload
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        workload = LibquantumWorkload(scale=0.2)
+        return sweep_sampling_period(workload, (101, 1009, 8009))
+
+    def test_one_point_per_period(self, points):
+        assert [p.period for p in points] == [101, 1009, 8009]
+
+    def test_sample_counts_fall_with_period(self, points):
+        counts = [p.sample_count for p in points]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_dense_sampling_matches_paper(self, points):
+        assert points[0].plan_matches
+
+    def test_overhead_falls_with_period(self, points):
+        overheads = [p.overhead_percent for p in points]
+        assert overheads == sorted(overheads, reverse=True)
+
+    def test_table_renders(self, points):
+        text = sensitivity_table("libquantum", points).render()
+        assert "advice matches paper" in text
+        assert "101" in text
+
+
+class TestStableRange:
+    def test_returns_largest_matching_period(self):
+        points = [
+            PeriodPoint(100, 50, 40, True, 5.0),
+            PeriodPoint(1000, 5, 4, True, 0.5),
+            PeriodPoint(10000, 1, 1, False, 0.05),
+        ]
+        assert stable_period_range(points) == 1000
+
+    def test_no_match_returns_zero(self):
+        points = [PeriodPoint(100, 0, 0, False, 0.0)]
+        assert stable_period_range(points) == 0

@@ -1,0 +1,126 @@
+"""Unit tests for profile views (§4.4) and multi-process profiling."""
+
+import pytest
+
+from repro.core import (
+    OfflineAnalyzer,
+    ViewNode,
+    code_centric_view,
+    data_centric_view,
+    hot_paths,
+)
+from repro.profiler import Monitor, ThreadProfile, profile_processes
+
+from ..conftest import build_figure1
+
+
+class TestViewNode:
+    def test_child_is_created_once(self):
+        root = ViewNode("root")
+        a = root.child("a")
+        assert root.child("a") is a
+        assert len(root.children) == 1
+
+    def test_sort_orders_by_latency(self):
+        root = ViewNode("root")
+        root.child("cold").latency = 1.0
+        root.child("hot").latency = 9.0
+        root.sort()
+        assert [c.label for c in root.children] == ["hot", "cold"]
+
+    def test_render_shows_shares(self):
+        root = ViewNode("root", latency=10.0)
+        root.child("x").latency = 5.0
+        text = root.render()
+        assert "root" in text and " 50.0%" in text
+
+
+@pytest.fixture(scope="module")
+def figure1_run():
+    bound = build_figure1(n=4096)
+    return Monitor(sampling_period=67).run(bound)
+
+
+class TestCodeCentricView:
+    def test_structure_function_loop_line_data(self, figure1_run):
+        view = code_centric_view(figure1_run.merged, figure1_run.loop_map)
+        (main,) = [c for c in view.children if c.label == "main"]
+        loop_labels = {c.label for c in main.children}
+        assert "loop 4-5" in loop_labels
+        assert "loop 7-8" in loop_labels
+
+    def test_latency_conserved_down_the_tree(self, figure1_run):
+        view = code_centric_view(figure1_run.merged, figure1_run.loop_map)
+        for fn in view.children:
+            assert fn.latency == pytest.approx(
+                sum(l.latency for l in fn.children)
+            )
+        assert view.latency == pytest.approx(
+            sum(fn.latency for fn in view.children)
+        )
+
+    def test_without_loop_map_buckets_unknown(self, figure1_run):
+        view = code_centric_view(figure1_run.merged, None)
+        assert view.children[0].label == "<unknown function>"
+
+
+class TestDataCentricView:
+    def test_objects_sorted_by_heat(self, figure1_run):
+        view = data_centric_view(figure1_run.merged, figure1_run.loop_map)
+        assert view.children[0].label == "Arr"
+
+    def test_allocation_paths_shown(self, figure1_run):
+        view = data_centric_view(figure1_run.merged, figure1_run.loop_map)
+        text = view.render()
+        assert "allocated at:" in text
+        assert "accessed in loop" in text
+
+
+class TestHotPaths:
+    def test_top_path_is_the_hottest_leaf(self, figure1_run):
+        view = code_centric_view(figure1_run.merged, figure1_run.loop_map)
+        paths = hot_paths(view, limit=3)
+        assert paths
+        assert paths[0][1] >= paths[-1][1]
+        assert "Arr" in paths[0][0]
+
+    def test_limit_respected(self, figure1_run):
+        view = data_centric_view(figure1_run.merged, figure1_run.loop_map)
+        assert len(hot_paths(view, limit=1)) == 1
+
+
+class TestMultiProcess:
+    def _build(self, rank):
+        # Each rank gets a different ASLR-style skew: the "same" array
+        # lives at different absolute addresses per process.
+        return build_figure1(n=2048, skew_bytes=4096 * (rank + 1))
+
+    def test_ranks_have_distinct_address_spaces(self):
+        bounds = [self._build(rank) for rank in range(2)]
+        a = bounds[0].bindings.resolve("Arr", "a")[0].base
+        b = bounds[1].bindings.resolve("Arr", "a")[0].base
+        assert a != b
+
+    def test_merge_by_identity_recovers_structure(self):
+        run = profile_processes(self._build, 3,
+                                monitor=Monitor(sampling_period=67))
+        report = OfflineAnalyzer().analyze_profile(
+            run.merged, loop_map=run.ranks[0].loop_map, workload="figure1"
+        )
+        analysis = report.object_by_name("Arr")
+        assert analysis is not None
+        assert analysis.recovered.size == 16
+        assert set(analysis.recovered.offsets) == {0, 4, 8, 12}
+
+    def test_aggregate_metrics_sum(self):
+        run = profile_processes(
+            lambda rank: build_figure1(n=1024), 2,
+            monitor=Monitor(sampling_period=67),
+        )
+        total = run.aggregate_metrics()
+        assert total.accesses == sum(r.metrics.accesses for r in run.ranks)
+        assert run.overhead_percent() > 0
+
+    def test_invalid_process_count(self):
+        with pytest.raises(ValueError):
+            profile_processes(lambda rank: build_figure1(n=64), 0)

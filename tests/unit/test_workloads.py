@@ -1,0 +1,113 @@
+"""Unit tests for the benchmark models and suite rosters."""
+
+import pytest
+
+from repro.layout import apply_split
+from repro.program import memory_accesses, run, trace_stats
+from repro.workloads import (
+    RODINIA_KERNELS,
+    SPEC_CPU2006_KERNELS,
+    TABLE2_WORKLOADS,
+    all_workloads,
+    permuted_indices,
+    suite_by_name,
+)
+
+TINY = 0.02
+
+
+@pytest.mark.parametrize("name", list(TABLE2_WORKLOADS))
+class TestEveryWorkload:
+    def test_original_variant_builds_and_runs(self, name):
+        workload = TABLE2_WORKLOADS[name](scale=TINY)
+        bound = workload.build_original()
+        accesses, compute = trace_stats(bound, num_threads=workload.num_threads)
+        assert accesses > 0
+        assert compute > 0
+
+    def test_paper_split_builds_and_runs(self, name):
+        workload = TABLE2_WORKLOADS[name](scale=TINY)
+        bound = workload.build_paper_split()
+        assert bound.variant == "split"
+        accesses, _ = trace_stats(bound, num_threads=workload.num_threads)
+        assert accesses > 0
+
+    def test_paper_plans_partition_target_structs(self, name):
+        workload = TABLE2_WORKLOADS[name](scale=TINY)
+        structs = workload.target_structs()
+        for array, plan in workload.paper_plans().items():
+            struct = structs[array]
+            apply_split(struct, plan)  # raises unless a valid partition
+
+    def test_both_variants_emit_same_access_count(self, name):
+        workload = TABLE2_WORKLOADS[name](scale=TINY)
+        original, _ = trace_stats(workload.build_original(),
+                                  num_threads=workload.num_threads)
+        split, _ = trace_stats(workload.build_paper_split(),
+                               num_threads=workload.num_threads)
+        assert original == split  # the IR is identical; only addresses move
+
+
+class TestWorkloadProperties:
+    def test_parallel_benchmarks_use_four_threads(self):
+        threads = {w.name: w.num_threads for w in all_workloads(scale=TINY)}
+        assert threads["CLOMP 1.2"] == 4
+        assert threads["Health"] == 4
+        assert threads["NN"] == 4
+        assert threads["179.ART"] == 1
+
+    def test_scaled_respects_minimum(self):
+        workload = TABLE2_WORKLOADS["179.ART"](scale=1e-9)
+        assert workload.scaled(8192, minimum=64) == 64
+
+    def test_parallel_traces_use_all_threads(self):
+        workload = TABLE2_WORKLOADS["NN"](scale=TINY)
+        bound = workload.build_original()
+        threads = {e.thread for e in memory_accesses(run(bound, num_threads=4))}
+        assert threads == {0, 1, 2, 3}
+
+
+class TestPermutedIndices:
+    def test_is_a_permutation(self):
+        order = permuted_indices(100, seed=1)
+        assert sorted(order) == list(range(100))
+
+    def test_deterministic_by_seed(self):
+        assert permuted_indices(50, seed=2) == permuted_indices(50, seed=2)
+        assert permuted_indices(50, seed=2) != permuted_indices(50, seed=3)
+
+    def test_windowed_shuffle_stays_local(self):
+        order = permuted_indices(64, seed=4, window=8)
+        assert sorted(order) == list(range(64))
+        for position, index in enumerate(order):
+            assert abs(index - position) < 8
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            permuted_indices(10, seed=0, window=0)
+
+
+class TestSuiteRosters:
+    def test_rosters_have_paper_scale_breadth(self):
+        assert len(RODINIA_KERNELS) >= 15
+        assert len(SPEC_CPU2006_KERNELS) >= 15
+
+    def test_rodinia_is_parallel_spec_is_sequential(self):
+        assert all(k.threads == 4 for k in RODINIA_KERNELS)
+        assert all(k.threads == 1 for k in SPEC_CPU2006_KERNELS)
+
+    def test_kernels_build_and_run(self):
+        for spec in (RODINIA_KERNELS[0], SPEC_CPU2006_KERNELS[0]):
+            bound = spec.build()
+            accesses, _ = trace_stats(bound, num_threads=spec.threads)
+            assert accesses == spec.elems * spec.reps
+
+    def test_suite_by_name(self):
+        assert suite_by_name("rodinia") is RODINIA_KERNELS
+        assert suite_by_name("spec") is SPEC_CPU2006_KERNELS
+        with pytest.raises(KeyError):
+            suite_by_name("parsec")
+
+    def test_names_are_unique(self):
+        names = [k.name for k in RODINIA_KERNELS + SPEC_CPU2006_KERNELS]
+        assert len(names) == len(set(names))
