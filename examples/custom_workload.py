@@ -20,6 +20,7 @@ from repro.layout import DOUBLE, FLOAT, INT, StructType, apply_split
 from repro.memsim import miss_reduction, speedup
 from repro.profiler import Monitor
 from repro.program import Access, Compute, Function, Loop, WorkloadBuilder, affine
+from repro.static import Suppression, lint_program
 
 PARTICLE = StructType(
     "particle",
@@ -69,8 +70,18 @@ def build(plans=None):
 
 
 def main():
+    workload = build()
+    # Lint the IR before spending any profiling time on it. `age` is
+    # this demo's intentionally cold field — it exists to be split
+    # away, so no loop ever reads it and the dead-field warning is
+    # expected.
+    lint = lint_program(workload, suppressions=(
+        Suppression("dead-field", "particles.age", "demo cold field"),
+    ))
+    print(lint.render())
+
     monitor = Monitor(sampling_period=307)
-    run = monitor.run(build())
+    run = monitor.run(workload)
     report = OfflineAnalyzer().analyze(run)
     print(report.render())
 

@@ -11,6 +11,7 @@ simulated substrates (see DESIGN.md):
 - :mod:`repro.sampling` — PEBS-LL / IBS address-sampling models
 - :mod:`repro.profiler` — the online profiler runtime and profile merging
 - :mod:`repro.core` — the paper's analyses (Eqs 1-7) and the full pipeline
+- :mod:`repro.static` — exact static counterparts of Eqs 2-7, lint, oracle
 - :mod:`repro.baselines` — instrumentation-based comparators from §3
 - :mod:`repro.workloads` — the seven §6 benchmarks plus suite rosters
 - :mod:`repro.experiments` — regenerators for every table and figure
@@ -38,6 +39,7 @@ from .layout import SplitPlan, StructType, apply_split
 from .memsim import HierarchyConfig, MemoryHierarchy, RunMetrics, simulate
 from .profiler import Monitor, ProfiledRun, ThreadProfile
 from .sampling import IBSSampler, PEBSLoadLatencySampler, SamplingEngine
+from .static import StaticAnalysis, cross_validate, lint_program, lint_workload
 
 __version__ = "1.0.0"
 
@@ -54,13 +56,17 @@ __all__ = [
     "RunMetrics",
     "SamplingEngine",
     "SplitPlan",
+    "StaticAnalysis",
     "StructType",
     "StructureAdvice",
     "ThreadProfile",
     "__version__",
     "apply_split",
+    "cross_validate",
     "derive_plans",
     "gcd_stride",
+    "lint_program",
+    "lint_workload",
     "optimize",
     "simulate",
 ]

@@ -47,6 +47,18 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--out", type=str, default=None,
                        help="write the full analysis package (report, dot "
                             "graphs, plans.json, structure.xml) here")
+        if name == "analyze":
+            p.add_argument("--check", action="store_true",
+                           help="cross-validate the sampled results against "
+                                "the static analyzer (exit 1 on mismatch)")
+
+    p = sub.add_parser("lint", help="static workload linter (no execution)")
+    p.add_argument("workload",
+                   choices=sorted(TABLE2_WORKLOADS) + ["nbody-soa", "all"],
+                   help="a workload name, or 'all' for every bundled one")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--strict", action="store_true",
+                   help="treat warnings as errors")
 
     p = sub.add_parser("regroup", help="array-regrouping extension demo")
     p.add_argument("--scale", type=float, default=1.0)
@@ -88,9 +100,9 @@ def _monitored_run(args):
     workload = TABLE2_WORKLOADS[args.workload](scale=args.scale)
     period = args.period or workload.recommended_period
     monitor = Monitor(sampling_period=period)
-    run = monitor.run(workload.build_original(),
-                      num_threads=workload.num_threads)
-    return workload, monitor, run
+    bound = workload.build_original()
+    run = monitor.run(bound, num_threads=workload.num_threads)
+    return workload, monitor, run, bound
 
 
 def _cmd_list(args, out) -> int:
@@ -105,13 +117,46 @@ def _cmd_list(args, out) -> int:
 
 
 def _cmd_analyze(args, out) -> int:
-    workload, _, run = _monitored_run(args)
+    workload, _, run, bound = _monitored_run(args)
     report = OfflineAnalyzer().analyze(run)
     print(report.render(), file=out)
     print(f"\nmonitoring overhead (modelled): {run.overhead_percent:.2f}%",
           file=out)
     _maybe_write_package(args, report, workload, run, out)
+    if getattr(args, "check", False):
+        from .static import StaticAnalysis, cross_validate_report
+
+        static = StaticAnalysis().analyze(bound, loop_map=run.loop_map)
+        result = cross_validate_report(static, run.merged, report)
+        print(file=out)
+        print(result.render(), file=out)
+        if not result.ok:
+            return 1
     return 0
+
+
+def _lint_targets(name: str, scale: float):
+    if name == "all":
+        names = sorted(TABLE2_WORKLOADS) + ["nbody-soa"]
+    else:
+        names = [name]
+    for n in names:
+        if n == "nbody-soa":
+            yield RegroupingWorkload(scale=scale)
+        else:
+            yield TABLE2_WORKLOADS[n](scale=scale)
+
+
+def _cmd_lint(args, out) -> int:
+    from .static import lint_workload
+
+    status = 0
+    for workload in _lint_targets(args.workload, args.scale):
+        report = lint_workload(workload)
+        print(report.render(), file=out)
+        if not report.ok(strict=args.strict):
+            status = 1
+    return status
 
 
 def _maybe_write_package(args, report, workload, run, out) -> None:
@@ -125,7 +170,7 @@ def _maybe_write_package(args, report, workload, run, out) -> None:
 
 
 def _cmd_optimize(args, out) -> int:
-    workload, monitor, run = _monitored_run(args)
+    workload, monitor, run, _ = _monitored_run(args)
     report = OfflineAnalyzer().analyze(run)
     print(report.render(), file=out)
     _maybe_write_package(args, report, workload, run, out)
@@ -204,7 +249,7 @@ def _cmd_accuracy(args, out) -> int:
 def _cmd_views(args, out) -> int:
     from .core import code_centric_view, data_centric_view
 
-    _, _, run = _monitored_run(args)
+    _, _, run, _ = _monitored_run(args)
     print("=== code-centric view ===", file=out)
     print(code_centric_view(run.merged, run.loop_map).render(), file=out)
     print(file=out)
@@ -238,6 +283,7 @@ def _cmd_summary(args, out) -> int:
 _COMMANDS = {
     "list": _cmd_list,
     "analyze": _cmd_analyze,
+    "lint": _cmd_lint,
     "optimize": _cmd_optimize,
     "regroup": _cmd_regroup,
     "table3": _cmd_table3,

@@ -34,10 +34,17 @@ def unique_in_order(addresses: Iterable[int]) -> List[int]:
 def gcd_stride(addresses: Sequence[int]) -> int:
     """Eqs 2-3: stride = gcd of adjacent unique-address differences.
 
-    Returns 0 when fewer than two unique addresses were observed (no
-    stride information at all).
+    Degenerate inputs are well-defined, not errors: with fewer than two
+    unique addresses (k < 2, including an empty sequence) there are no
+    differences to fold, and the function returns 0 — the "no stride
+    information" value, which is also ``math.gcd``'s identity, so online
+    accumulation can start from it. Callers that need stride *evidence*
+    must therefore check for 0 (or use :func:`is_strided`) rather than
+    treat the result as a width.
     """
     unique = unique_in_order(addresses)
+    if len(unique) < 2:
+        return 0
     stride = 0
     for prev, cur in zip(unique, unique[1:]):
         stride = math.gcd(stride, abs(cur - prev))
@@ -62,9 +69,18 @@ def accuracy_lower_bound(k: int, *, prime_limit: int = 10_000) -> float:
     ``k`` is the number of unique address samples in the stream. The
     prime sum converges extremely fast for k >= 2; the limit only
     matters for k == 1 (where the bound is vacuous anyway).
+
+    ``prime_limit`` must be at least 2 (the first prime): a smaller
+    limit would make the sum empty and silently report a perfect 1.0
+    bound, so it is rejected instead.
     """
     if k < 1:
         raise ValueError("k must be >= 1")
+    if prime_limit < 2:
+        raise ValueError(
+            "prime_limit must be >= 2: an empty prime sum would report a "
+            "vacuous 1.0 accuracy bound"
+        )
     if k == 1:
         return 0.0  # one sample yields no differences: no information
     total = 0.0
@@ -142,6 +158,10 @@ def empirical_accuracy(
     """
     if rng is None:
         rng = random.Random(12345)
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    if true_stride < 1:
+        raise ValueError("true_stride must be >= 1")
     if k > n:
         raise ValueError("cannot draw more unique samples than addresses")
     hits = 0

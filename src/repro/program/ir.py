@@ -13,7 +13,7 @@ of reading loop bounds out of the IR.
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dc_field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple, Union
 
 #: Synthetic text segment base; statement IPs are assigned from here.
 TEXT_BASE = 0x0040_0000
@@ -32,6 +32,10 @@ class IndexExpr:
     def evaluate(self, env: Dict[str, int]) -> int:
         raise NotImplementedError
 
+    def free_vars(self) -> FrozenSet[str]:
+        """Induction variables this expression reads."""
+        raise NotImplementedError
+
 
 @dataclass(frozen=True)
 class Const(IndexExpr):
@@ -41,6 +45,9 @@ class Const(IndexExpr):
 
     def evaluate(self, env: Dict[str, int]) -> int:
         return self.value
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset()
 
 
 @dataclass(frozen=True)
@@ -53,6 +60,9 @@ class Affine(IndexExpr):
 
     def evaluate(self, env: Dict[str, int]) -> int:
         return env[self.var] * self.scale + self.offset
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset((self.var,)) if self.scale != 0 else frozenset()
 
 
 @dataclass(frozen=True)
@@ -69,6 +79,9 @@ class Indirect(IndexExpr):
     def evaluate(self, env: Dict[str, int]) -> int:
         return self.table[self.inner.evaluate(env)]
 
+    def free_vars(self) -> FrozenSet[str]:
+        return self.inner.free_vars()
+
     @classmethod
     def of(cls, table: Sequence[int], inner: IndexExpr) -> "Indirect":
         return cls(tuple(table), inner)
@@ -83,6 +96,9 @@ class Mod(IndexExpr):
 
     def evaluate(self, env: Dict[str, int]) -> int:
         return self.inner.evaluate(env) % self.modulus
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.inner.free_vars()
 
 
 def affine(var: str, scale: int = 1, offset: int = 0) -> Affine:
@@ -268,6 +284,27 @@ class Program:
 
         for fn in self.functions.values():
             yield from rec(fn.name, fn.body)
+
+    def walk_with_loops(self) -> Iterator[Tuple[str, Stmt, Tuple[Loop, ...]]]:
+        """Yield ``(function_name, stmt, enclosing_loops)`` pre-order.
+
+        ``enclosing_loops`` is the chain of :class:`Loop` statements
+        around ``stmt`` within its function, outermost first — the loop
+        nest a static analysis evaluates index expressions against.
+        Loops themselves are yielded with the stack *around* them (not
+        including themselves).
+        """
+
+        def rec(
+            fname: str, body: Sequence[Stmt], stack: Tuple[Loop, ...]
+        ) -> Iterator[Tuple[str, Stmt, Tuple[Loop, ...]]]:
+            for stmt in body:
+                yield fname, stmt, stack
+                if isinstance(stmt, Loop):
+                    yield from rec(fname, stmt.body, stack + (stmt,))
+
+        for fn in self.functions.values():
+            yield from rec(fn.name, fn.body, ())
 
     def loops(self) -> List[Loop]:
         """All loops in the program, pre-order."""

@@ -1,0 +1,66 @@
+"""Static analysis over the workload IR: exact strides, lint, oracle.
+
+Three layers, each consuming the one below:
+
+- :mod:`repro.static.absint` — abstract interpretation of index
+  expressions per loop nest: exact per-stream strides, structure sizes,
+  field offsets, and a unit-latency affinity matrix (static Eqs 2-3,
+  5-7) without executing anything.
+- :mod:`repro.static.lint` — workload well-formedness rules (bounds,
+  overlap, races, dead fields, Eq 4's sampling regime) over the static
+  report, surfaced as ``repro lint``.
+- :mod:`repro.static.oracle` — cross-validation of the sampled
+  pipeline against the static pass (``repro analyze --check``).
+"""
+
+from .absint import (
+    ENUM_CAP,
+    K_ACCURATE,
+    IndexSummary,
+    StaticAnalysis,
+    StaticAnalysisError,
+    StaticIssue,
+    StaticObject,
+    StaticReport,
+    StaticStream,
+    summarize_index,
+)
+from .lint import (
+    RULES,
+    LintFinding,
+    LintReport,
+    Suppression,
+    lint_program,
+    lint_workload,
+)
+from .oracle import (
+    ObjectCheck,
+    OracleResult,
+    StreamCheck,
+    cross_validate,
+    cross_validate_report,
+)
+
+__all__ = [
+    "ENUM_CAP",
+    "K_ACCURATE",
+    "IndexSummary",
+    "StaticAnalysis",
+    "StaticAnalysisError",
+    "StaticIssue",
+    "StaticObject",
+    "StaticReport",
+    "StaticStream",
+    "summarize_index",
+    "RULES",
+    "LintFinding",
+    "LintReport",
+    "Suppression",
+    "lint_program",
+    "lint_workload",
+    "ObjectCheck",
+    "OracleResult",
+    "StreamCheck",
+    "cross_validate",
+    "cross_validate_report",
+]

@@ -1,0 +1,600 @@
+"""Abstract interpretation of index expressions over loop nests.
+
+The sampled pipeline *estimates* per-stream strides, structure sizes,
+and field offsets from sparse addresses (Eqs 2-6); this module derives
+the same quantities **exactly** from the workload IR without executing
+anything. Each ``Access`` statement is evaluated symbolically against
+its enclosing loop nest: the index expression's value sequence is
+summarized as an :class:`IndexSummary` (bounds, difference GCD, distinct
+count), and the static per-stream byte stride is the element size times
+the index-difference GCD.
+
+Soundness contract (what the oracle and the property tests pin down):
+every pairwise difference of the addresses a stream can touch is a
+multiple of the static stride, so the static stride divides the dynamic
+full-trace GCD stride, which in turn divides any sparsely *sampled*
+GCD stride. Exactness: for the expression forms the workloads use
+(affine sweeps, staggered ``Mod`` wraps, concrete ``Indirect`` tables)
+the summary is marked ``exact`` and matches the interpreter bit for bit.
+
+Loop identity comes from the *lowered binary CFG* (Havlak interval
+analysis via :class:`~repro.binary.loopmap.LoopMap`), not from the IR's
+loop statements — the same code-centric substrate the sampled profiler
+attributes against, which is what makes static and sampled loop tables
+directly comparable.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..binary.loopmap import LoopMap
+from ..core.affinity import AffinityMatrix, compute_affinities
+from ..core.attribution import LoopAccessEntry
+from ..core.streams import NO_LOOP
+from ..core.stride import gcd_stride, is_strided
+from ..layout.struct import StructType
+from ..profiler.allocation import DataObjectRegistry
+from ..profiler.profile import DataIdentity
+from ..program.builder import BoundProgram
+from ..program.ir import Access, Call, IndexExpr, Indirect, Loop, Mod, Program
+
+#: Enumeration budget for ``Indirect`` tables: above this trip count the
+#: analysis falls back to a sound whole-table summary (exact=False).
+ENUM_CAP = 1 << 20
+
+#: Eq 4's accuracy regime: ~10 unique samples push stride accuracy >99%.
+K_ACCURATE = 10
+
+
+class StaticAnalysisError(ValueError):
+    """An index expression cannot be analyzed (malformed workload).
+
+    ``rule`` names the lint rule class the failure belongs to, so the
+    linter can convert analysis failures into findings in place.
+    """
+
+    def __init__(self, rule: str, message: str) -> None:
+        super().__init__(message)
+        self.rule = rule
+
+
+@dataclass(frozen=True)
+class IndexSummary:
+    """Abstract value of one index expression over its binding loop.
+
+    ``lo``/``hi`` bound the element indices the expression can produce;
+    ``diff_gcd`` divides every pairwise difference of those indices
+    (0 means the index is constant); ``distinct`` is the number of
+    distinct indices (a lower bound when ``exact`` is False).
+    """
+
+    lo: int
+    hi: int
+    diff_gcd: int
+    distinct: int
+    exact: bool = True
+
+    @property
+    def empty(self) -> bool:
+        return self.distinct == 0
+
+
+#: Summary of an access inside a zero-trip loop: never executes.
+EMPTY_SUMMARY = IndexSummary(lo=0, hi=-1, diff_gcd=0, distinct=0)
+
+#: Environment for evaluating expressions with no *effective* free
+#: variables: a scale-0 ``Affine`` still reads its variable in
+#: ``evaluate``, but any value yields the same result, so supply 0.
+_ZERO_ENV = defaultdict(int)
+
+
+def _validate_expr(expr: IndexExpr) -> None:
+    """Reject malformed expression trees before evaluation."""
+    if isinstance(expr, Mod):
+        if expr.modulus <= 0:
+            raise StaticAnalysisError(
+                "bad-modulus", f"Mod with non-positive modulus {expr.modulus}"
+            )
+        _validate_expr(expr.inner)
+    elif isinstance(expr, Indirect):
+        if not expr.table:
+            raise StaticAnalysisError("empty-table", "Indirect with empty table")
+        _validate_expr(expr.inner)
+
+
+def _binding_loop(
+    expr: IndexExpr, loops: Sequence[Loop]
+) -> Optional[Loop]:
+    """The innermost enclosing loop whose variable the expression reads.
+
+    None means the index is loop-invariant. Raises when the expression
+    reads a variable no enclosing loop binds, or more than one loop
+    variable (the IR's expression grammar is single-variable; anything
+    else is a malformed workload, not a supported program).
+    """
+    fv = expr.free_vars()
+    if not fv:
+        return None
+    bound = {loop.var for loop in loops}
+    unbound = fv - bound
+    if unbound:
+        raise StaticAnalysisError(
+            "unbound-var",
+            f"index reads undefined induction variable(s) {sorted(unbound)}",
+        )
+    if len(fv) > 1:
+        raise StaticAnalysisError(
+            "unsupported-index",
+            f"index reads multiple induction variables {sorted(fv)}",
+        )
+    var = next(iter(fv))
+    for loop in reversed(loops):
+        if loop.var == var:
+            return loop
+    raise AssertionError("unreachable: var checked against bound set")
+
+
+def _summarize_over(
+    expr: IndexExpr, var: str, start: int, step: int, count: int
+) -> IndexSummary:
+    """Summarize ``expr`` as ``var`` walks ``count`` values from ``start``."""
+    if count <= 0:
+        return EMPTY_SUMMARY
+    fv = expr.free_vars()
+    if not fv:
+        value = expr.evaluate(_ZERO_ENV)
+        return IndexSummary(lo=value, hi=value, diff_gcd=0, distinct=1)
+
+    from ..program.ir import Affine, Const  # local: avoid name shadowing
+
+    if isinstance(expr, Const):
+        return IndexSummary(expr.value, expr.value, 0, 1)
+    if isinstance(expr, Affine):
+        first = start * expr.scale + expr.offset
+        last = (start + (count - 1) * step) * expr.scale + expr.offset
+        d = expr.scale * step
+        if count == 1 or d == 0:
+            return IndexSummary(first, first, 0, 1)
+        return IndexSummary(min(first, last), max(first, last), abs(d), count)
+    if isinstance(expr, Mod):
+        return _summarize_mod(expr, var, start, step, count)
+    if isinstance(expr, Indirect):
+        return _summarize_indirect(expr, var, start, step, count)
+    raise StaticAnalysisError(
+        "unsupported-index", f"cannot analyze {type(expr).__name__} index"
+    )
+
+
+def _summarize_mod(
+    expr: Mod, var: str, start: int, step: int, count: int
+) -> IndexSummary:
+    m = expr.modulus
+    inner = _summarize_over(expr.inner, var, start, step, count)
+    if inner.empty:
+        return EMPTY_SUMMARY
+    if inner.lo // m == inner.hi // m:
+        # The whole run fits in one modulus window: mod is a shift.
+        return IndexSummary(
+            inner.lo % m, inner.hi % m, inner.diff_gcd, inner.distinct, inner.exact
+        )
+    # Wrapped: values stay congruent to inner.lo modulo g = gcd(d, m),
+    # and once the run wraps, both a plain step (d) and a wrap step
+    # (d - m) occur, so g is the exact difference GCD when |d| < m.
+    g = math.gcd(inner.diff_gcd, m)
+    if g == 0:
+        return IndexSummary(inner.lo % m, inner.lo % m, 0, 1, inner.exact)
+    period = m // g
+    if (
+        inner.exact
+        and inner.diff_gcd < m
+        and inner.distinct < period
+        and count <= ENUM_CAP
+    ):
+        # Partial wrap: the run revisits fewer residues than the full
+        # class, so the closed-form window over-approximates. The trip
+        # is shorter than the period, hence cheap to fold exactly.
+        values = [
+            expr.evaluate(defaultdict(int, {var: start + k * step}))
+            for k in range(count)
+        ]
+        return IndexSummary(
+            lo=min(values),
+            hi=max(values),
+            diff_gcd=gcd_stride(values),
+            distinct=len(set(values)),
+            exact=True,
+        )
+    residue = inner.lo % g
+    hi = (m - 1) - ((m - 1 - residue) % g)
+    distinct = min(inner.distinct, period)
+    exact = inner.exact and inner.diff_gcd < m and inner.distinct >= period
+    return IndexSummary(residue, hi, g, distinct, exact)
+
+
+def _summarize_indirect(
+    expr: Indirect, var: str, start: int, step: int, count: int
+) -> IndexSummary:
+    inner = _summarize_over(expr.inner, var, start, step, count)
+    if inner.empty:
+        return EMPTY_SUMMARY
+    if inner.lo < 0 or inner.hi >= len(expr.table):
+        raise StaticAnalysisError(
+            "oob-index",
+            f"indirection index range [{inner.lo}, {inner.hi}] exceeds "
+            f"table extent [0, {len(expr.table)})",
+        )
+    if count <= ENUM_CAP:
+        # The table is concrete IR data: fold the expression over the
+        # loop range (constant folding, not execution) and reuse the
+        # paper's own GCD on the exact index sequence.
+        values = [
+            expr.evaluate(defaultdict(int, {var: start + k * step}))
+            for k in range(count)
+        ]
+        return IndexSummary(
+            lo=min(values),
+            hi=max(values),
+            diff_gcd=gcd_stride(values),
+            distinct=len(set(values)),
+            exact=True,
+        )
+    # Table too large to fold: summarize the whole table. Every
+    # reachable difference is a difference of two table entries, so the
+    # GCD over (entry - first entry) is sound; the distinct lower bound
+    # degrades to 1 because we no longer know which entries are visited.
+    t0 = expr.table[0]
+    g = 0
+    for t in expr.table:
+        g = math.gcd(g, abs(t - t0))
+    return IndexSummary(
+        lo=min(expr.table),
+        hi=max(expr.table),
+        diff_gcd=g,
+        distinct=1,
+        exact=False,
+    )
+
+
+def summarize_index(expr: IndexExpr, loops: Sequence[Loop]) -> IndexSummary:
+    """Abstractly evaluate ``expr`` under the enclosing loop nest.
+
+    Outer loops around the binding loop replay the same index sequence,
+    which adds no unique addresses — the summary over the binding
+    loop's range is the whole story (the same argument that makes the
+    paper's unique-address filtering lossless).
+    """
+    _validate_expr(expr)
+    binding = _binding_loop(expr, loops)
+    if binding is None:
+        value = expr.evaluate(_ZERO_ENV)
+        return IndexSummary(lo=value, hi=value, diff_gcd=0, distinct=1)
+    return _summarize_over(
+        expr, binding.var, binding.start, binding.step, binding.trip_count
+    )
+
+
+# ---------------------------------------------------------------------------
+# Whole-program analysis
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StaticIssue:
+    """One analysis failure, attributed to a statement."""
+
+    rule: str
+    message: str
+    function: str
+    line: int
+    ip: int
+
+
+@dataclass
+class StaticStream:
+    """The static counterpart of one sampled stream (one Access site)."""
+
+    ip: int
+    line: int
+    function: str
+    array: str
+    field: Optional[str]
+    resolved_field: str
+    identity: DataIdentity
+    loop_id: Optional[int]
+    loop_label: str
+    index: IndexSummary
+    elem_size: int
+    field_offset: int
+    stride: int  # bytes; elem_size * index.diff_gcd, 0 = constant address
+    executions: int
+    is_write: bool
+    parallel_vars: Tuple[str, ...]  # vars of enclosing parallel loops
+    binding_var: Optional[str]  # loop var the index actually reads
+    binding_trip: int  # trip count of that loop (0 if loop-invariant)
+
+    @property
+    def min_byte(self) -> int:
+        """Lowest byte offset within the allocation this stream touches."""
+        return self.index.lo * self.elem_size + self.field_offset
+
+
+@dataclass
+class StaticField:
+    """One statically derived field (byte offset) of a data object."""
+
+    offset: int
+    units: int = 0  # unit-latency weight: total static executions
+    streams: List[StaticStream] = dc_field(default_factory=list)
+
+
+@dataclass
+class StaticObject:
+    """Everything the static pass derived about one data object."""
+
+    identity: DataIdentity
+    name: str
+    struct: StructType
+    elem_size: int  # layout ground truth (Eq 5's target)
+    count: int
+    derived_size: int  # static Eq 5: gcd of strided stream strides
+    fields: Dict[int, StaticField]
+    loop_table: Dict[int, LoopAccessEntry]
+    affinity: Optional[AffinityMatrix]
+    streams: List[StaticStream]
+
+    @property
+    def offsets(self) -> List[int]:
+        return sorted(self.fields)
+
+    @property
+    def size_matches_layout(self) -> bool:
+        return self.derived_size == self.elem_size
+
+
+@dataclass
+class StaticReport:
+    """The static analyzer's whole-program output."""
+
+    program: str
+    variant: str
+    objects: Dict[DataIdentity, StaticObject]
+    streams: List[StaticStream]
+    issues: List[StaticIssue]
+    loop_map: LoopMap
+
+    def stream_at(self, ip: int) -> Optional[StaticStream]:
+        return self._by_ip.get(ip)
+
+    def __post_init__(self) -> None:
+        self._by_ip: Dict[int, StaticStream] = {s.ip: s for s in self.streams}
+
+    def object_by_name(self, name: str) -> Optional[StaticObject]:
+        for identity, obj in self.objects.items():
+            if identity[-1] == name or name in identity:
+                return obj
+        return None
+
+    def render(self) -> str:
+        lines = [f"== static analysis: {self.program} ({self.variant}) =="]
+        for obj in self.objects.values():
+            lines.append(f"-- {obj.name} --")
+            lines.append(
+                f"  element size: {obj.derived_size} bytes "
+                f"(layout: {obj.elem_size}, "
+                f"{'match' if obj.size_matches_layout else 'MISMATCH'})"
+            )
+            offs = ", ".join(str(o) for o in obj.offsets)
+            lines.append(f"  field offsets: [{offs}]")
+            if obj.affinity is not None and obj.affinity.pairs():
+                i, j, value = obj.affinity.pairs()[0]
+                lines.append(f"  strongest affinity: ({i}, {j}) = {value:.2f}")
+        for issue in self.issues:
+            lines.append(
+                f"!! {issue.rule} at {issue.function}:{issue.line}: {issue.message}"
+            )
+        return "\n".join(lines)
+
+
+def _call_multipliers(program: Program) -> Dict[str, int]:
+    """How many times each function body runs per program execution.
+
+    Derived from call sites weighted by their enclosing trip counts;
+    the entry function runs once. Recursive cycles (which the IR's
+    workloads never build) are cut by treating the back edge as zero.
+    """
+    sites: Dict[str, List[Tuple[str, int]]] = {}
+    for fname, stmt, stack in program.walk_with_loops():
+        if isinstance(stmt, Call):
+            execs = 1
+            for loop in stack:
+                execs *= loop.trip_count
+            sites.setdefault(stmt.callee, []).append((fname, execs))
+
+    mult: Dict[str, int] = {}
+    visiting: set = set()
+
+    def resolve(fname: str) -> int:
+        base = 1 if fname == program.entry else 0
+        if fname in mult:
+            return mult[fname]
+        if fname in visiting:
+            return 0
+        visiting.add(fname)
+        total = base + sum(
+            resolve(caller) * execs for caller, execs in sites.get(fname, [])
+        )
+        visiting.discard(fname)
+        mult[fname] = total
+        return total
+
+    for fname in program.functions:
+        resolve(fname)
+    return mult
+
+
+class StaticAnalysis:
+    """Derives the paper's Eqs 2-3 and 5-7 exactly from the IR.
+
+    ``min_unique`` mirrors the sampled analyzer's guard: a stream votes
+    on the structure size (Eq 5) only if it could ever produce at least
+    that many unique addresses.
+    """
+
+    def __init__(self, *, min_unique: int = 2) -> None:
+        self.min_unique = min_unique
+
+    def analyze(
+        self, bound: BoundProgram, *, loop_map: Optional[LoopMap] = None
+    ) -> StaticReport:
+        program = bound.program
+        program.require_finalized()
+        loop_map = loop_map or LoopMap(program)
+        registry = DataObjectRegistry.from_address_space(bound.space)
+        multipliers = _call_multipliers(program)
+
+        streams: List[StaticStream] = []
+        issues: List[StaticIssue] = []
+        for fname, stmt, stack in program.walk_with_loops():
+            if not isinstance(stmt, Access):
+                continue
+            try:
+                streams.append(
+                    self._analyze_access(
+                        bound, registry, loop_map, multipliers, fname, stmt, stack
+                    )
+                )
+            except StaticAnalysisError as exc:
+                issues.append(
+                    StaticIssue(exc.rule, str(exc), fname, stmt.line, stmt.ip)
+                )
+        objects = self._aggregate(bound, registry, loop_map, streams)
+        return StaticReport(
+            program=program.name,
+            variant=bound.variant,
+            objects=objects,
+            streams=streams,
+            issues=issues,
+            loop_map=loop_map,
+        )
+
+    # -- per-access ---------------------------------------------------------
+
+    def _analyze_access(
+        self,
+        bound: BoundProgram,
+        registry: DataObjectRegistry,
+        loop_map: LoopMap,
+        multipliers: Dict[str, int],
+        fname: str,
+        stmt: Access,
+        stack: Tuple[Loop, ...],
+    ) -> StaticStream:
+        try:
+            aos, resolved = bound.bindings.resolve(stmt.array, stmt.field)
+        except KeyError as exc:
+            raise StaticAnalysisError("unbound-array", str(exc)) from None
+        summary = summarize_index(stmt.index, stack)
+        if not summary.empty and (summary.lo < 0 or summary.hi >= aos.count):
+            raise StaticAnalysisError(
+                "oob-index",
+                f"index range [{summary.lo}, {summary.hi}] exceeds declared "
+                f"extent [0, {aos.count}) of {stmt.array!r}",
+            )
+        obj = registry.find(aos.base)
+        identity = obj.identity if obj is not None else ("unknown", stmt.array)
+        desc = loop_map.loop_of_ip(stmt.ip)
+        executions = multipliers.get(fname, 0)
+        for loop in stack:
+            executions *= loop.trip_count
+        binding = _binding_loop(stmt.index, stack)
+        field = aos.struct.field(resolved)
+        return StaticStream(
+            ip=stmt.ip,
+            line=stmt.line,
+            function=fname,
+            array=stmt.array,
+            field=stmt.field,
+            resolved_field=resolved,
+            identity=identity,
+            loop_id=desc.id if desc is not None else None,
+            loop_label=desc.label if desc is not None else "<no loop>",
+            index=summary,
+            elem_size=aos.stride,
+            field_offset=field.offset,
+            stride=0 if summary.empty else aos.stride * summary.diff_gcd,
+            executions=executions,
+            is_write=stmt.is_write,
+            parallel_vars=tuple(l.var for l in stack if l.parallel),
+            binding_var=binding.var if binding is not None else None,
+            binding_trip=binding.trip_count if binding is not None else 0,
+        )
+
+    # -- per-object ---------------------------------------------------------
+
+    def _aggregate(
+        self,
+        bound: BoundProgram,
+        registry: DataObjectRegistry,
+        loop_map: LoopMap,
+        streams: List[StaticStream],
+    ) -> Dict[DataIdentity, StaticObject]:
+        by_identity: Dict[DataIdentity, List[StaticStream]] = {}
+        for stream in streams:
+            by_identity.setdefault(stream.identity, []).append(stream)
+
+        objects: Dict[DataIdentity, StaticObject] = {}
+        for name in bound.bindings.logical_arrays():
+            for aos in bound.bindings.backing_arrays(name):
+                obj = registry.find(aos.base)
+                if obj is None:
+                    continue
+                members = by_identity.get(obj.identity, [])
+                # Static Eq 5: strided streams vote; a stream votes only
+                # if it can produce min_unique unique addresses.
+                size = 0
+                for s in members:
+                    if s.index.distinct >= self.min_unique and is_strided(s.stride):
+                        size = math.gcd(size, s.stride)
+                fields: Dict[int, StaticField] = {}
+                table: Dict[int, LoopAccessEntry] = {}
+                if size > 1:
+                    for s in members:
+                        if s.index.empty or s.executions == 0:
+                            continue
+                        # Static Eq 6: the stream's lowest address,
+                        # relative to the object base, modulo the size.
+                        offset = s.min_byte % size
+                        entry = fields.setdefault(offset, StaticField(offset))
+                        entry.units += s.executions
+                        entry.streams.append(s)
+                        loop_key = s.loop_id if s.loop_id is not None else NO_LOOP
+                        t_entry = table.get(loop_key)
+                        if t_entry is None:
+                            if loop_key == NO_LOOP:
+                                label, line_range = "<no loop>", (0, 0)
+                            else:
+                                desc = loop_map.loop(loop_key)
+                                label, line_range = desc.label, desc.line_range
+                            t_entry = LoopAccessEntry(loop_key, label, line_range)
+                            table[loop_key] = t_entry
+                        # Eq 7 with unit latencies: each execution of
+                        # the access contributes one latency unit.
+                        t_entry.add(offset, float(s.executions))
+                affinity = compute_affinities(table) if table else None
+                objects[obj.identity] = StaticObject(
+                    identity=obj.identity,
+                    name=aos.allocation.name,
+                    struct=aos.struct,
+                    elem_size=aos.stride,
+                    count=aos.count,
+                    derived_size=size,
+                    fields=fields,
+                    loop_table=table,
+                    affinity=affinity,
+                    streams=members,
+                )
+        return objects

@@ -1,0 +1,317 @@
+"""Workload linter: static well-formedness checks over bound programs.
+
+A malformed workload does not crash the sampled pipeline — it silently
+skews it. An out-of-bounds index aborts the interpreter mid-run, two
+overlapping allocations make address-to-object attribution ambiguous, a
+write-write race between parallel iterations makes runs nondeterministic,
+a dead field quietly inflates every split-plan estimate, and a loop too
+short for Eq 4's k>=10 regime produces strides the accuracy bound does
+not cover. Each rule here catches one of those failure modes *before*
+anything executes, from the same :class:`~repro.static.absint.StaticReport`
+the oracle consumes.
+
+Intentional patterns (the paper's workloads deliberately carry cold,
+never-read fields — that is the point of structure splitting) are
+acknowledged with :class:`Suppression` entries rather than silenced
+globally, so a *new* instance of the same smell still surfaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..binary.loopmap import LoopMap
+from ..program.builder import BoundProgram
+from .absint import K_ACCURATE, StaticAnalysis, StaticReport, StaticStream
+
+ERROR = "error"
+WARNING = "warning"
+
+#: Rule catalog: rule name -> (severity, one-line description).
+RULES: Dict[str, Tuple[str, str]] = {
+    "oob-index": (
+        ERROR,
+        "an index expression can exceed the declared array extent "
+        "(or an indirection table's bounds)",
+    ),
+    "unbound-var": (
+        ERROR,
+        "an index expression reads an induction variable no enclosing "
+        "loop binds",
+    ),
+    "unbound-array": (
+        ERROR,
+        "an access names an array/field the layout binding does not route",
+    ),
+    "bad-modulus": (ERROR, "a Mod index has a non-positive modulus"),
+    "empty-table": (ERROR, "an Indirect index has an empty table"),
+    "unsupported-index": (
+        ERROR,
+        "an index expression is outside the analyzable grammar",
+    ),
+    "overlapping-objects": (
+        ERROR,
+        "two data objects overlap in the synthetic address space, making "
+        "address-to-object attribution ambiguous",
+    ),
+    "write-race": (
+        ERROR,
+        "parallel loop iterations can write the same element of the same "
+        "field (write-write race)",
+    ),
+    "dead-field": (
+        WARNING,
+        "a bound struct field is never accessed by any IR statement",
+    ),
+    "short-trip": (
+        WARNING,
+        f"a strided stream can produce fewer than k={K_ACCURATE} unique "
+        "addresses, below Eq 4's >99% stride-accuracy regime",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """An acknowledged finding: this pattern is intentional.
+
+    ``subject`` is an ``fnmatch`` glob matched against the finding's
+    subject string; ``reason`` is mandatory documentation of *why* the
+    pattern is deliberate (it is echoed in the lint report).
+    """
+
+    rule: str
+    subject: str
+    reason: str
+
+    def matches(self, finding: "LintFinding") -> bool:
+        return finding.rule == self.rule and fnmatch(finding.subject, self.subject)
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at one site."""
+
+    rule: str
+    severity: str
+    subject: str
+    message: str
+    function: str = ""
+    line: int = 0
+
+    def render(self) -> str:
+        where = f" at {self.function}:{self.line}" if self.function else ""
+        return f"{self.severity}[{self.rule}] {self.subject}{where}: {self.message}"
+
+
+@dataclass
+class LintReport:
+    """All findings for one bound program."""
+
+    program: str
+    variant: str
+    findings: List[LintFinding]
+    suppressed: List[Tuple[LintFinding, Suppression]]
+
+    @property
+    def errors(self) -> List[LintFinding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[LintFinding]:
+        return [f for f in self.findings if f.severity == WARNING]
+
+    def ok(self, *, strict: bool = False) -> bool:
+        return not self.errors and not (strict and self.warnings)
+
+    def render(self) -> str:
+        lines = [f"== lint: {self.program} ({self.variant}) =="]
+        for finding in self.findings:
+            lines.append(f"  {finding.render()}")
+        for finding, supp in self.suppressed:
+            lines.append(
+                f"  suppressed[{finding.rule}] {finding.subject}: {supp.reason}"
+            )
+        if not self.findings and not self.suppressed:
+            lines.append("  clean")
+        lines.append(
+            f"  {len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.suppressed)} suppressed"
+        )
+        return "\n".join(lines)
+
+
+def _stream_subject(stream: StaticStream) -> str:
+    field = stream.resolved_field
+    return f"{stream.array}.{field}"
+
+
+def _check_overlaps(bound: BoundProgram, findings: List[LintFinding]) -> None:
+    allocs = sorted(bound.space.allocations, key=lambda a: a.base)
+    for prev, cur in zip(allocs, allocs[1:]):
+        if prev.end > cur.base:
+            findings.append(
+                LintFinding(
+                    rule="overlapping-objects",
+                    severity=ERROR,
+                    subject=f"{prev.name}/{cur.name}",
+                    message=(
+                        f"{prev.name!r} [{prev.base:#x}, {prev.end:#x}) overlaps "
+                        f"{cur.name!r} [{cur.base:#x}, {cur.end:#x})"
+                    ),
+                )
+            )
+
+
+def _check_write_races(report: StaticReport, findings: List[LintFinding]) -> None:
+    for stream in report.streams:
+        if not stream.is_write or not stream.parallel_vars:
+            continue
+        if stream.executions == 0 or stream.index.empty:
+            continue
+        par = stream.parallel_vars[-1]  # innermost parallel loop
+        subject = _stream_subject(stream)
+        if stream.binding_var != par:
+            findings.append(
+                LintFinding(
+                    rule="write-race",
+                    severity=ERROR,
+                    subject=subject,
+                    message=(
+                        f"write index ignores parallel loop variable {par!r}: "
+                        "every worker thread writes the same elements"
+                    ),
+                    function=stream.function,
+                    line=stream.line,
+                )
+            )
+            continue
+        injective = stream.index.exact and (
+            stream.index.distinct == stream.binding_trip
+        )
+        if not injective:
+            findings.append(
+                LintFinding(
+                    rule="write-race",
+                    severity=ERROR,
+                    subject=subject,
+                    message=(
+                        f"write index over parallel loop {par!r} is not "
+                        f"provably injective ({stream.index.distinct} distinct "
+                        f"indices for {stream.binding_trip} iterations): "
+                        "iterations on different threads may collide"
+                    ),
+                    function=stream.function,
+                    line=stream.line,
+                )
+            )
+
+
+def _check_dead_fields(
+    bound: BoundProgram, report: StaticReport, findings: List[LintFinding]
+) -> None:
+    accessed: Dict[int, Set[str]] = {}  # aos base -> resolved field names
+    for stream in report.streams:
+        try:
+            aos, resolved = bound.bindings.resolve(stream.array, stream.field)
+        except KeyError:  # already reported as unbound-array
+            continue
+        accessed.setdefault(aos.base, set()).add(resolved)
+    for name in bound.bindings.logical_arrays():
+        for aos in bound.bindings.backing_arrays(name):
+            touched = accessed.get(aos.base, set())
+            for fname in aos.struct.field_names:
+                if fname not in touched:
+                    findings.append(
+                        LintFinding(
+                            rule="dead-field",
+                            severity=WARNING,
+                            subject=f"{name}.{fname}",
+                            message=(
+                                f"field {fname!r} of {name!r} is allocated "
+                                "but never accessed by any IR statement"
+                            ),
+                        )
+                    )
+
+
+def _check_short_trips(report: StaticReport, findings: List[LintFinding]) -> None:
+    for stream in report.streams:
+        if stream.binding_var is None or stream.executions == 0:
+            continue
+        if not stream.index.exact or stream.index.empty:
+            continue
+        if stream.index.distinct >= K_ACCURATE:
+            continue
+        findings.append(
+            LintFinding(
+                rule="short-trip",
+                severity=WARNING,
+                subject=_stream_subject(stream),
+                message=(
+                    f"stream in loop {stream.loop_label} can collect at most "
+                    f"{stream.index.distinct} unique addresses; Eq 4 needs "
+                    f"k>={K_ACCURATE} for >99% stride accuracy"
+                ),
+                function=stream.function,
+                line=stream.line,
+            )
+        )
+
+
+def lint_program(
+    bound: BoundProgram,
+    *,
+    suppressions: Sequence[Suppression] = (),
+    loop_map: Optional[LoopMap] = None,
+    report: Optional[StaticReport] = None,
+) -> LintReport:
+    """Run every lint rule over a bound program.
+
+    ``report`` lets callers reuse an already-computed static analysis
+    (the CLI computes one anyway); otherwise one is built here.
+    """
+    if report is None:
+        report = StaticAnalysis().analyze(bound, loop_map=loop_map)
+
+    findings: List[LintFinding] = []
+    for issue in report.issues:
+        severity, _ = RULES.get(issue.rule, (ERROR, ""))
+        findings.append(
+            LintFinding(
+                rule=issue.rule,
+                severity=severity,
+                subject=f"{issue.function}:{issue.line}",
+                message=issue.message,
+                function=issue.function,
+                line=issue.line,
+            )
+        )
+    _check_overlaps(bound, findings)
+    _check_write_races(report, findings)
+    _check_dead_fields(bound, report, findings)
+    _check_short_trips(report, findings)
+
+    kept: List[LintFinding] = []
+    suppressed: List[Tuple[LintFinding, Suppression]] = []
+    for finding in findings:
+        for supp in suppressions:
+            if supp.matches(finding):
+                suppressed.append((finding, supp))
+                break
+        else:
+            kept.append(finding)
+    return LintReport(
+        program=bound.name,
+        variant=bound.variant,
+        findings=kept,
+        suppressed=suppressed,
+    )
+
+
+def lint_workload(workload) -> LintReport:
+    """Lint a :class:`~repro.workloads.base.PaperWorkload` instance."""
+    bound = workload.build_original()
+    return lint_program(bound, suppressions=workload.lint_suppressions())

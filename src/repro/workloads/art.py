@@ -85,6 +85,16 @@ class ArtWorkload(PaperWorkload):
             )
         }
 
+    def lint_suppressions(self):
+        from ..static.lint import Suppression
+
+        return (
+            # ART's R is the paper's canonical cold field: allocated in
+            # every f1_neuron but untouched by the hot loops, which is
+            # why Figure 7's split moves it into its own array.
+            Suppression("dead-field", "f1_layer.R", "paper-cold field (Fig 7)"),
+        )
+
     def _populate(
         self, builder: WorkloadBuilder, plans: Dict[str, SplitPlan]
     ) -> List[Function]:

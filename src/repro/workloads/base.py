@@ -88,6 +88,18 @@ class PaperWorkload:
             layout = apply_split(struct, plan)
             builder.add_split_aos(layout, count, name=array_name, call_path=call_path)
 
+    # -- linting -------------------------------------------------------------
+
+    def lint_suppressions(self) -> Tuple:
+        """Acknowledged lint findings for this workload.
+
+        Subclasses return :class:`repro.static.lint.Suppression` entries
+        for patterns that are *intentional* — chiefly the cold fields the
+        paper's benchmarks deliberately carry (the very fields structure
+        splitting exists to move out of the way). Default: none.
+        """
+        return ()
+
     # -- variant builders -----------------------------------------------------
 
     def build(self, plans: Optional[Dict[str, SplitPlan]] = None) -> BoundProgram:

@@ -58,6 +58,17 @@ class ClompWorkload(PaperWorkload):
             )
         }
 
+    def lint_suppressions(self):
+        from ..static.lint import Suppression
+
+        # zoneId/partId are setup-time identifiers the relaxation loops
+        # never touch — the cold half of the Fig 11 split.
+        reason = "paper-cold identifier field (Fig 11)"
+        return (
+            Suppression("dead-field", "zones.zoneId", reason),
+            Suppression("dead-field", "zones.partId", reason),
+        )
+
     def _populate(
         self, builder: WorkloadBuilder, plans: Dict[str, SplitPlan]
     ) -> List[Function]:

@@ -58,6 +58,18 @@ class MserWorkload(PaperWorkload):
             )
         }
 
+    def lint_suppressions(self):
+        from ..static.lint import Suppression
+
+        # The union-find walk chases parent only; the per-region
+        # bookkeeping fields stay cold — the group the Fig 13 split
+        # separates from parent.
+        reason = "paper-cold region-bookkeeping field (Fig 13)"
+        return tuple(
+            Suppression("dead-field", f"forest.{f}", reason)
+            for f in ("shortcut", "region", "area")
+        )
+
     def _populate(
         self, builder: WorkloadBuilder, plans: Dict[str, SplitPlan]
     ) -> List[Function]:

@@ -68,6 +68,18 @@ class TspWorkload(PaperWorkload):
             )
         }
 
+    def lint_suppressions(self):
+        from ..static.lint import Suppression
+
+        # The tour walk only reads x/y/next; the tree-construction
+        # fields are dead in the hot phase by design — they are the
+        # cold group the paper's split (Fig 9) pushes aside.
+        reason = "paper-cold tree-construction field (Fig 9)"
+        return tuple(
+            Suppression("dead-field", f"tree_nodes.{f}", reason)
+            for f in ("sz", "left", "right", "prev")
+        )
+
     def _populate(
         self, builder: WorkloadBuilder, plans: Dict[str, SplitPlan]
     ) -> List[Function]:

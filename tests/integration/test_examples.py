@@ -46,8 +46,23 @@ def test_parallel_profiling(capsys, monkeypatch):
 
 def test_custom_workload(capsys, monkeypatch):
     out = run_example(capsys, monkeypatch, "custom_workload.py")
+    assert "suppressed[dead-field] particles.age" in out
+    assert "0 error(s), 0 warning(s)" in out
     assert "advice: split particle" in out
     assert "speedup:" in out
+
+
+def test_example_programs_lint_clean():
+    # Every program an example builds passes the static linter: the
+    # examples are API documentation, and the linter is part of the API.
+    import runpy
+
+    from repro.static import lint_program
+
+    for script in ("quickstart.py", "custom_workload.py"):
+        mod = runpy.run_path(str(EXAMPLES / script))
+        report = lint_program(mod["build"]())
+        assert report.ok(), f"{script}: {report.render()}"
 
 
 def test_compare_baselines(capsys, monkeypatch):

@@ -1,0 +1,161 @@
+"""Property tests: the static pass vs the interpreter's ground truth.
+
+Two contracts, over randomly generated programs:
+
+* soundness — for every access site, the static stride divides the
+  dynamic ``gcd_stride`` of the full interpreter trace (and therefore
+  any sampled stride, since sampling only drops differences);
+* exactness — when a program contains a unit sweep of the array, the
+  statically derived structure size equals the layout's element size.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import gcd_stride
+from repro.layout import INT, LONG, StructType
+from repro.program import (
+    Access,
+    Function,
+    Loop,
+    MemoryAccess,
+    WorkloadBuilder,
+    affine,
+    run,
+)
+from repro.program.ir import Indirect, Mod
+from repro.static import StaticAnalysis
+from tests.property.strategies import build, loop_trees
+
+FIELD_TYPES = [INT, LONG]
+
+
+@st.composite
+def sweep_programs(draw):
+    """A single-loop program of random in-bounds accesses to one AoS.
+
+    Indices mix plain affine sweeps, staggered Mod wraps, and small
+    Indirect permutations — the three index forms the workloads use.
+    """
+    n_fields = draw(st.integers(min_value=1, max_value=4))
+    fields = [(f"f{i}", draw(st.sampled_from(FIELD_TYPES)))
+              for i in range(n_fields)]
+    struct = StructType("elem", fields)
+    count = draw(st.integers(min_value=12, max_value=48))
+    trip = draw(st.integers(min_value=2, max_value=count))
+
+    accesses = [
+        # The guaranteed unit sweep: anchors the derived size at the
+        # element size (a gcd over strides needs one coprime voter).
+        Access(line=10, array="A", field="f0", index=affine("i")),
+    ]
+    n_extra = draw(st.integers(min_value=0, max_value=3))
+    for k in range(n_extra):
+        field = draw(st.sampled_from([name for name, _ in fields]))
+        form = draw(st.sampled_from(["affine", "mod", "indirect"]))
+        if form == "affine":
+            max_scale = min(3, (count - 1) // max(1, trip - 1))
+            scale = draw(st.integers(min_value=0, max_value=max_scale))
+            max_off = count - 1 - scale * (trip - 1)
+            offset = draw(st.integers(min_value=0, max_value=max_off))
+            index = affine("i", scale, offset)
+        elif form == "mod":
+            modulus = draw(st.integers(min_value=1, max_value=count))
+            scale = draw(st.integers(min_value=1, max_value=4))
+            index = Mod(affine("i", scale, draw(
+                st.integers(min_value=0, max_value=8))), modulus)
+        else:
+            table = draw(st.lists(
+                st.integers(min_value=0, max_value=count - 1),
+                min_size=trip, max_size=trip))
+            index = Indirect(tuple(table), affine("i"))
+        accesses.append(
+            Access(line=11 + k, array="A", field=field, index=index,
+                   is_write=draw(st.booleans()))
+        )
+
+    builder = WorkloadBuilder("prop")
+    builder.add_aos(struct, count, name="A", call_path=("main",))
+    body = [Loop(line=1, var="i", start=0, stop=trip, end_line=20,
+                 body=accesses)]
+    return builder.build([Function("main", body)])
+
+
+def addresses_by_ip(bound):
+    trace = {}
+    for item in run(bound):
+        if isinstance(item, MemoryAccess):
+            trace.setdefault(item.ip, []).append(item.address)
+    return trace
+
+
+class TestStaticVsDynamic:
+    @settings(max_examples=60, deadline=None)
+    @given(sweep_programs())
+    def test_static_stride_divides_dynamic_gcd(self, bound):
+        report = StaticAnalysis().analyze(bound)
+        assert not report.issues, report.issues
+        trace = addresses_by_ip(bound)
+        for stream in report.streams:
+            dynamic = gcd_stride(trace[stream.ip])
+            if dynamic == 0:
+                continue  # fewer than two unique addresses: no evidence
+            assert stream.stride > 0
+            assert dynamic % stream.stride == 0, (
+                f"static {stream.stride} does not divide dynamic {dynamic}"
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(sweep_programs())
+    def test_exact_streams_match_dynamic_exactly(self, bound):
+        # Streams the abstract domain marks exact reproduce the trace's
+        # stride and address bounds bit for bit.
+        report = StaticAnalysis().analyze(bound)
+        trace = addresses_by_ip(bound)
+        for stream in report.streams:
+            if not stream.index.exact:
+                continue
+            addrs = trace[stream.ip]
+            assert min(addrs) == (
+                stream.identity and min(addrs)
+            )  # trace exists
+            assert len(set(addrs)) == stream.index.distinct
+            dynamic = gcd_stride(addrs)
+            if dynamic:
+                assert dynamic % stream.stride == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(sweep_programs())
+    def test_derived_size_equals_layout_ground_truth(self, bound):
+        report = StaticAnalysis().analyze(bound)
+        (obj,) = report.objects.values()
+        if any(s.index.distinct >= 2 and s.stride > 1 for s in obj.streams):
+            assert obj.derived_size == obj.struct.size
+            # And every static field offset is a real field offset
+            # modulo the element size.
+            legal = {f.offset for f in obj.struct.fields}
+            legal |= {(o + obj.struct.size) % obj.derived_size for o in legal}
+            assert set(obj.fields) <= legal
+
+
+class TestRandomLoopTrees:
+    @settings(max_examples=40, deadline=None)
+    @given(loop_trees())
+    def test_analysis_total_on_random_nests(self, body):
+        # The generic strategy produces deeply nested loops with
+        # constant-index accesses: the analyzer must neither crash nor
+        # report issues, and constant streams must have stride 0.
+        bound = build(body)
+        report = StaticAnalysis().analyze(bound)
+        assert not report.issues
+        for stream in report.streams:
+            assert stream.stride == 0
+            assert stream.index.distinct == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(loop_trees())
+    def test_lint_runs_clean_of_errors_on_random_nests(self, body):
+        from repro.static import lint_program
+
+        report = lint_program(build(body))
+        assert not report.errors, [f.render() for f in report.errors]

@@ -40,6 +40,43 @@ class TestAnalyzeCommand:
             run_cli("analyze", "nonexistent")
 
 
+class TestAnalyzeCheckFlag:
+    def test_check_cross_validates_and_passes(self):
+        code, text = run_cli("analyze", "462.libquantum", "--scale", "0.1",
+                             "--check")
+        assert code == 0
+        assert "cross-validation" in text
+        assert "OK" in text
+
+    def test_check_reports_per_object_sizes(self):
+        _, text = run_cli("analyze", "462.libquantum", "--scale", "0.1",
+                          "--check")
+        assert "size static=16 sampled=16" in text
+
+
+class TestLintCommand:
+    def test_single_workload_lints(self):
+        code, text = run_cli("lint", "Health", "--scale", "0.05")
+        assert code == 0
+        assert "== lint: Health" in text
+
+    def test_all_covers_every_workload_plus_regroup(self):
+        code, text = run_cli("lint", "all", "--scale", "0.05")
+        assert code == 0
+        for name in ("179.ART", "462.libquantum", "TSP", "Mser",
+                     "CLOMP 1.2", "Health", "NN", "nbody-soa"):
+            assert f"== lint: {name}" in text
+
+    def test_strict_passes_thanks_to_suppressions(self):
+        code, text = run_cli("lint", "all", "--scale", "0.05", "--strict")
+        assert code == 0
+        assert "suppressed[dead-field]" in text
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("lint", "nonexistent")
+
+
 class TestOptimizeCommand:
     def test_optimize_reports_split_and_speedup(self):
         code, text = run_cli("optimize", "462.libquantum", "--scale", "0.3")

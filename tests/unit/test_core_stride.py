@@ -79,6 +79,18 @@ class TestAccuracyBound:
         with pytest.raises(ValueError):
             accuracy_lower_bound(0)
 
+    def test_non_positive_prime_limit_rejected(self):
+        # An empty prime sum would silently claim a perfect 1.0 bound.
+        for limit in (1, 0, -7):
+            with pytest.raises(ValueError, match="prime_limit"):
+                accuracy_lower_bound(10, prime_limit=limit)
+
+    def test_minimal_prime_limit_uses_only_two(self):
+        # With only p=2 in the sum the bound is exactly 1 - 2^-k.
+        assert accuracy_lower_bound(4, prime_limit=2) == pytest.approx(
+            1.0 - 2.0**-4
+        )
+
 
 class TestExactAccuracy:
     def test_matches_bound_direction(self):
@@ -120,3 +132,9 @@ class TestEmpiricalAccuracy:
     def test_over_sampling_rejected(self):
         with pytest.raises(ValueError):
             empirical_accuracy(4, 5)
+
+    def test_degenerate_parameters_rejected(self):
+        with pytest.raises(ValueError, match="trials"):
+            empirical_accuracy(100, 4, trials=0)
+        with pytest.raises(ValueError, match="true_stride"):
+            empirical_accuracy(100, 4, true_stride=0)

@@ -1,0 +1,206 @@
+"""Unit tests for the workload linter (repro.static.lint)."""
+
+import pytest
+
+from repro.layout import INT, StructType
+from repro.layout.address_space import Allocation
+from repro.program import Access, Function, Loop, WorkloadBuilder, affine
+from repro.static import RULES, Suppression, lint_program, lint_workload
+from tests.conftest import build_figure1
+
+PAIR = StructType("pair", [("x", INT), ("y", INT)])
+
+
+def build(body_fn, *, count=64, struct=PAIR, extra_arrays=()):
+    builder = WorkloadBuilder("lintcase")
+    builder.add_aos(struct, count, name="A", call_path=("main",))
+    for name in extra_arrays:
+        builder.add_scalar(name, INT, count, call_path=("main",))
+    return builder.build([Function("main", body_fn())])
+
+
+def rules_of(report):
+    return sorted({f.rule for f in report.findings})
+
+
+class TestCleanPrograms:
+    def test_figure1_is_clean(self):
+        report = lint_program(build_figure1())
+        assert report.findings == []
+        assert report.ok(strict=True)
+        assert "clean" in report.render()
+
+    def test_rule_catalog_is_complete(self):
+        report = lint_program(build_figure1())
+        assert report.findings == []
+        # Every severity used anywhere comes from the documented catalog.
+        assert set(RULES) >= {
+            "oob-index", "unbound-var", "overlapping-objects",
+            "write-race", "dead-field", "short-trip",
+        }
+
+
+class TestErrorRules:
+    def test_oob_index_flagged(self):
+        report = build(lambda: [
+            Loop(line=1, var="i", start=0, stop=128, body=[
+                Access(line=2, array="A", field="x", index=affine("i")),
+                Access(line=3, array="A", field="y", index=affine("i", 1, -1)),
+            ]),
+        ])
+        findings = lint_program(report).errors
+        assert {f.rule for f in findings} == {"oob-index"}
+        assert len(findings) == 2  # over the top and below zero
+
+    def test_unbound_var_flagged(self):
+        report = lint_program(build(lambda: [
+            Loop(line=1, var="i", start=0, stop=8, body=[
+                Access(line=2, array="A", field="x", index=affine("nope")),
+                Access(line=3, array="A", field="y", index=affine("i")),
+            ]),
+        ]))
+        assert "unbound-var" in rules_of(report)
+
+    def test_overlapping_objects_flagged(self):
+        bound = build_figure1()
+        first = bound.space.allocations[0]
+        # The bump allocator cannot produce overlap; inject a forged
+        # allocation record to model a corrupted address space.
+        rogue = Allocation("rogue", first.base + 4, first.size, "heap", ())
+        bound.space._allocations.append(rogue)
+        bound.space._starts.append(rogue.base)
+        report = lint_program(bound)
+        assert "overlapping-objects" in rules_of(report)
+
+    def test_parallel_write_ignoring_loop_var_is_a_race(self):
+        report = lint_program(build(lambda: [
+            Loop(line=1, var="i", start=0, stop=64, parallel=True, body=[
+                Access(line=2, array="A", field="x",
+                       index=affine("i", 0, 3), is_write=True),
+            ]),
+        ]))
+        races = [f for f in report.errors if f.rule == "write-race"]
+        assert len(races) == 1
+        assert "same elements" in races[0].message
+
+    def test_parallel_write_through_serial_inner_loop_is_a_race(self):
+        report = lint_program(build(lambda: [
+            Loop(line=1, var="t", start=0, stop=4, parallel=True, body=[
+                Loop(line=2, var="j", start=0, stop=64, body=[
+                    Access(line=3, array="A", field="x",
+                           index=affine("j"), is_write=True),
+                ]),
+            ]),
+        ]))
+        assert "write-race" in rules_of(report)
+
+    def test_non_injective_parallel_write_is_a_race(self):
+        report = lint_program(build(lambda: [
+            Loop(line=1, var="i", start=0, stop=64, parallel=True, body=[
+                Access(line=2, array="A", field="x",
+                       index=affine("i", 2, 0), is_write=True),
+            ]),
+        ], count=128))
+        # 2i over 64 iterations yields 64 distinct indices == trip count:
+        # injective, no race. Modulo-collapsed index below IS a race.
+        assert "write-race" not in rules_of(report)
+        from repro.program import Mod
+
+        report = lint_program(build(lambda: [
+            Loop(line=1, var="i", start=0, stop=64, parallel=True, body=[
+                Access(line=2, array="A", field="x",
+                       index=Mod(affine("i"), 8), is_write=True),
+            ]),
+        ]))
+        assert "write-race" in rules_of(report)
+
+    def test_parallel_read_is_not_a_race(self):
+        report = lint_program(build(lambda: [
+            Loop(line=1, var="i", start=0, stop=64, parallel=True, body=[
+                Access(line=2, array="A", field="x", index=affine("i", 0, 3)),
+            ]),
+        ]))
+        assert "write-race" not in rules_of(report)
+
+
+class TestWarningRules:
+    def test_dead_field_flagged(self):
+        report = lint_program(build(lambda: [
+            Loop(line=1, var="i", start=0, stop=64, body=[
+                Access(line=2, array="A", field="x", index=affine("i")),
+            ]),
+        ]))
+        dead = [f for f in report.warnings if f.rule == "dead-field"]
+        assert [f.subject for f in dead] == ["A.y"]
+        assert report.ok()  # warnings only
+        assert not report.ok(strict=True)
+
+    def test_short_trip_flagged(self):
+        report = lint_program(build(lambda: [
+            Loop(line=1, var="i", start=0, stop=4, body=[
+                Access(line=2, array="A", field="x", index=affine("i")),
+                Access(line=3, array="A", field="y", index=affine("i")),
+            ]),
+        ]))
+        short = [f for f in report.warnings if f.rule == "short-trip"]
+        assert len(short) == 2
+        assert "k>=10" in short[0].message
+
+    def test_constant_index_is_not_short_trip(self):
+        from repro.program import Const
+
+        report = lint_program(build(lambda: [
+            Loop(line=1, var="i", start=0, stop=64, body=[
+                Access(line=2, array="A", field="x", index=affine("i")),
+                Access(line=3, array="A", field="y", index=Const(0)),
+            ]),
+        ]))
+        assert "short-trip" not in rules_of(report)
+
+
+class TestSuppressions:
+    def build_with_dead_field(self):
+        return build(lambda: [
+            Loop(line=1, var="i", start=0, stop=64, body=[
+                Access(line=2, array="A", field="x", index=affine("i")),
+            ]),
+        ])
+
+    def test_matching_suppression_moves_finding_aside(self):
+        supp = Suppression("dead-field", "A.y", "intentional cold field")
+        report = lint_program(self.build_with_dead_field(),
+                              suppressions=(supp,))
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+        assert report.ok(strict=True)
+        assert "intentional cold field" in report.render()
+
+    def test_glob_subjects_match(self):
+        supp = Suppression("dead-field", "A.*", "whole array is scratch")
+        report = lint_program(self.build_with_dead_field(),
+                              suppressions=(supp,))
+        assert report.findings == []
+
+    def test_wrong_rule_does_not_suppress(self):
+        supp = Suppression("short-trip", "A.y", "mismatched rule")
+        report = lint_program(self.build_with_dead_field(),
+                              suppressions=(supp,))
+        assert [f.rule for f in report.findings] == ["dead-field"]
+
+
+class TestBundledWorkloads:
+    @pytest.mark.parametrize("name", [
+        "179.ART", "462.libquantum", "CLOMP 1.2", "Health", "Mser", "NN",
+        "TSP",
+    ])
+    def test_every_table2_workload_lints_strict_clean(self, name):
+        from repro.workloads import TABLE2_WORKLOADS
+
+        report = lint_workload(TABLE2_WORKLOADS[name](scale=0.05))
+        assert report.ok(strict=True), report.render()
+
+    def test_regrouping_workload_lints_clean(self):
+        from repro.workloads import RegroupingWorkload
+
+        report = lint_workload(RegroupingWorkload(scale=0.05))
+        assert report.ok(strict=True), report.render()
