@@ -12,12 +12,20 @@ paper's artifacts:
     python -m repro art [--dot art.dot]       # Tables 5/6 + Figure 6
     python -m repro overhead rodinia|spec     # Figures 4/5
     python -m repro accuracy                  # Eq 4 sweep
+    python -m repro trace art                 # telemetry: Perfetto trace
+    python -m repro stats [workload]          # telemetry: metrics snapshot
+
+``analyze``, ``optimize``, and ``table3`` additionally accept
+``--telemetry DIR`` (export spans/metrics for the run) and — for
+``analyze``/``table3`` — ``--json`` (machine-readable results).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from contextlib import contextmanager
 from typing import List, Optional
 
 from .core import OfflineAnalyzer, derive_plans, optimize, recommend_regrouping
@@ -47,10 +55,15 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--out", type=str, default=None,
                        help="write the full analysis package (report, dot "
                             "graphs, plans.json, structure.xml) here")
+        p.add_argument("--telemetry", metavar="DIR", default=None,
+                       help="record spans/metrics and export them to DIR")
         if name == "analyze":
             p.add_argument("--check", action="store_true",
                            help="cross-validate the sampled results against "
                                 "the static analyzer (exit 1 on mismatch)")
+            p.add_argument("--json", action="store_true",
+                           help="print machine-readable JSON instead of the "
+                                "textual report")
 
     p = sub.add_parser("lint", help="static workload linter (no execution)")
     p.add_argument("workload",
@@ -65,6 +78,35 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table3", help="regenerate Tables 3 and 4")
     p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--telemetry", metavar="DIR", default=None,
+                   help="record spans/metrics and export them to DIR")
+    p.add_argument("--json", action="store_true",
+                   help="print machine-readable JSON instead of the tables")
+
+    p = sub.add_parser(
+        "trace",
+        help="run the full pipeline under telemetry; export a Perfetto-"
+             "loadable Chrome trace, a JSONL event log, and metrics",
+    )
+    p.add_argument("workload",
+                   help="a Table 2 workload, full name or alias (e.g. 'art')")
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--period", type=int, default=None)
+    p.add_argument("--telemetry", metavar="DIR", default="telemetry",
+                   help="output directory (default: ./telemetry)")
+
+    p = sub.add_parser(
+        "stats",
+        help="run one workload and print the telemetry metrics snapshot "
+             "plus the decomposed self-overhead account",
+    )
+    p.add_argument("workload", nargs="?", default="462.libquantum",
+                   help="a Table 2 workload, full name or alias "
+                        "(default: 462.libquantum)")
+    p.add_argument("--scale", type=float, default=0.2)
+    p.add_argument("--period", type=int, default=None)
+    p.add_argument("--telemetry", metavar="DIR", default=None,
+                   help="also export the snapshot files to DIR")
 
     p = sub.add_parser("art", help="regenerate Tables 5/6 and Figure 6")
     p.add_argument("--scale", type=float, default=1.0)
@@ -105,6 +147,52 @@ def _monitored_run(args):
     return workload, monitor, run, bound
 
 
+def resolve_workload(token: str) -> Optional[str]:
+    """Map a full name or a friendly alias onto a Table 2 workload.
+
+    ``art`` -> ``179.ART``, ``libquantum`` -> ``462.libquantum``,
+    ``clomp`` -> ``CLOMP 1.2``, case-insensitively.
+    """
+    if token in TABLE2_WORKLOADS:
+        return token
+    wanted = token.lower()
+    for name in TABLE2_WORKLOADS:
+        aliases = {name.lower(), name.split()[0].lower()}
+        tail = name.split(".")[-1].split()[0].lower()
+        if not tail.isdigit():
+            aliases.add(tail)
+        if wanted in aliases:
+            return name
+    return None
+
+
+def _bad_workload(token: str, out) -> int:
+    names = ", ".join(sorted(TABLE2_WORKLOADS))
+    print(f"unknown workload {token!r}; choose from: {names}", file=out)
+    return 2
+
+
+@contextmanager
+def _telemetry_scope(args, out):
+    """Enable telemetry for the enclosed command when requested.
+
+    Yields the active session (or None when ``--telemetry`` was not
+    passed) and writes the export files on the way out.
+    """
+    from . import telemetry
+
+    directory = getattr(args, "telemetry", None)
+    if not directory:
+        yield None
+        return
+    with telemetry.session() as session:
+        yield session
+        paths = telemetry.write_telemetry(session, directory)
+    destination = out if not getattr(args, "json", False) else sys.stderr
+    print(f"wrote {len(paths)} telemetry files to {directory}",
+          file=destination)
+
+
 def _cmd_list(args, out) -> int:
     for name, factory in TABLE2_WORKLOADS.items():
         workload = factory(scale=0.01)
@@ -116,22 +204,81 @@ def _cmd_list(args, out) -> int:
     return 0
 
 
+def _analysis_json(report, run) -> dict:
+    """Machine-readable ``repro analyze`` payload (reuses the telemetry
+    JSON encoder for every nested value)."""
+    objects = []
+    for analysis in report.objects.values():
+        advice = None
+        if analysis.advice is not None:
+            advice = {
+                "clusters": analysis.advice.clusters,
+                "should_split": analysis.advice.should_split(),
+                "description": analysis.advice.describe(),
+            }
+        objects.append(
+            {
+                "name": analysis.name,
+                "identity": list(analysis.entry.identity),
+                "latency_share": analysis.entry.share,
+                "recovered_size": (
+                    analysis.recovered.size if analysis.recovered else None
+                ),
+                "data_sources": analysis.data_sources(),
+                "advice": advice,
+            }
+        )
+    account = run.overhead_account
+    return {
+        "workload": report.workload,
+        "variant": report.variant,
+        "sample_count": report.sample_count,
+        "total_latency": report.total_latency,
+        "pmu": run.pmu,
+        "sampling_period": run.sampling_period,
+        "deployment_period": run.deployment_period,
+        "overhead_percent": run.overhead_percent,
+        "overhead_account": account.to_dict() if account else None,
+        "hot": [
+            {"name": e.name, "share": e.share, "latency": e.latency}
+            for e in report.hot
+        ],
+        "objects": objects,
+    }
+
+
+def _print_json(payload, out) -> None:
+    from .telemetry import to_jsonable
+
+    print(json.dumps(to_jsonable(payload), indent=2, sort_keys=True), file=out)
+
+
 def _cmd_analyze(args, out) -> int:
-    workload, _, run, bound = _monitored_run(args)
-    report = OfflineAnalyzer().analyze(run)
-    print(report.render(), file=out)
-    print(f"\nmonitoring overhead (modelled): {run.overhead_percent:.2f}%",
-          file=out)
-    _maybe_write_package(args, report, workload, run, out)
+    with _telemetry_scope(args, out):
+        workload, _, run, bound = _monitored_run(args)
+        report = OfflineAnalyzer().analyze(run)
+    check_result = None
     if getattr(args, "check", False):
         from .static import StaticAnalysis, cross_validate_report
 
         static = StaticAnalysis().analyze(bound, loop_map=run.loop_map)
-        result = cross_validate_report(static, run.merged, report)
-        print(file=out)
-        print(result.render(), file=out)
-        if not result.ok:
-            return 1
+        check_result = cross_validate_report(static, run.merged, report)
+    if getattr(args, "json", False):
+        payload = _analysis_json(report, run)
+        if check_result is not None:
+            payload["cross_validation_ok"] = check_result.ok
+        _print_json(payload, out)
+        _maybe_write_package(args, report, workload, run, sys.stderr)
+    else:
+        print(report.render(), file=out)
+        print(f"\nmonitoring overhead (modelled): {run.overhead_percent:.2f}%",
+              file=out)
+        _maybe_write_package(args, report, workload, run, out)
+        if check_result is not None:
+            print(file=out)
+            print(check_result.render(), file=out)
+    if check_result is not None and not check_result.ok:
+        return 1
     return 0
 
 
@@ -170,19 +317,22 @@ def _maybe_write_package(args, report, workload, run, out) -> None:
 
 
 def _cmd_optimize(args, out) -> int:
-    workload, monitor, run, _ = _monitored_run(args)
-    report = OfflineAnalyzer().analyze(run)
+    with _telemetry_scope(args, out):
+        workload, monitor, run, _ = _monitored_run(args)
+        report = OfflineAnalyzer().analyze(run)
+        plans = derive_plans(report, workload.target_structs())
+        optimized = None
+        if plans:
+            optimized = monitor.run_unmonitored(
+                workload.build_split(plans), num_threads=workload.num_threads
+            )
     print(report.render(), file=out)
     _maybe_write_package(args, report, workload, run, out)
-    plans = derive_plans(report, workload.target_structs())
     if not plans:
         print("\nno split recommended", file=out)
         return 1
     for plan in plans.values():
         print(f"\nadvice: {plan.describe()}", file=out)
-    optimized = monitor.run_unmonitored(
-        workload.build_split(plans), num_threads=workload.num_threads
-    )
     print(f"speedup: {speedup(run.metrics, optimized):.2f}x", file=out)
     return 0
 
@@ -206,11 +356,66 @@ def _cmd_regroup(args, out) -> int:
 
 def _cmd_table3(args, out) -> int:
     from .experiments import run_all, table3, table4
+    from .experiments.optimization import results_json
 
-    results = run_all(scale=args.scale)
+    with _telemetry_scope(args, out):
+        results = run_all(scale=args.scale)
+    if getattr(args, "json", False):
+        _print_json(results_json(results), out)
+        return 0
     print(table3(results).render(), file=out)
     print(file=out)
     print(table4(results).render(), file=out)
+    return 0
+
+
+def _cmd_trace(args, out) -> int:
+    from . import telemetry
+
+    name = resolve_workload(args.workload)
+    if name is None:
+        return _bad_workload(args.workload, out)
+    workload = TABLE2_WORKLOADS[name](scale=args.scale)
+    period = args.period or workload.recommended_period
+    with telemetry.session() as session:
+        result = optimize(workload, monitor=Monitor(sampling_period=period))
+        paths = telemetry.write_telemetry(session, args.telemetry)
+        stages = sorted(set(session.tracer.span_names()))
+    print(
+        f"traced {name}: speedup {result.speedup:.2f}x, "
+        f"overhead {result.overhead_percent:.2f}% "
+        f"({result.profiled.pmu}, period {result.profiled.sampling_period})",
+        file=out,
+    )
+    print("stages: " + ", ".join(stages), file=out)
+    for path in paths:
+        print(f"wrote {path}", file=out)
+    return 0
+
+
+def _cmd_stats(args, out) -> int:
+    from . import telemetry
+
+    name = resolve_workload(args.workload)
+    if name is None:
+        return _bad_workload(args.workload, out)
+    workload = TABLE2_WORKLOADS[name](scale=args.scale)
+    period = args.period or workload.recommended_period
+    with telemetry.session() as session:
+        result = optimize(workload, monitor=Monitor(sampling_period=period))
+        print(telemetry.prometheus_text(session.metrics), file=out)
+        for account in session.overhead_accounts:
+            print(account.render(), file=out)
+            print(
+                f"  reported overhead_percent: "
+                f"{result.overhead_percent:.4f}% "
+                f"(component sum: {account.overhead_percent:.4f}%)",
+                file=out,
+            )
+        if args.telemetry:
+            paths = telemetry.write_telemetry(session, args.telemetry)
+            print(f"wrote {len(paths)} telemetry files to {args.telemetry}",
+                  file=out)
     return 0
 
 
@@ -287,6 +492,8 @@ _COMMANDS = {
     "optimize": _cmd_optimize,
     "regroup": _cmd_regroup,
     "table3": _cmd_table3,
+    "trace": _cmd_trace,
+    "stats": _cmd_stats,
     "art": _cmd_art,
     "overhead": _cmd_overhead,
     "accuracy": _cmd_accuracy,

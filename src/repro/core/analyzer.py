@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from .. import telemetry
 from ..profiler.monitor import ProfiledRun
 from ..profiler.profile import DataIdentity, ThreadProfile
 from .advice import StructureAdvice, build_advice
@@ -17,6 +18,8 @@ from .affinity import AffinityMatrix, compute_affinities
 from .attribution import LoopAccessEntry, loop_offset_table, loop_share_rows
 from .clustering import DEFAULT_THRESHOLD
 from .hotdata import HotDataEntry, hot_data, rank_data_objects
+from .streams import streams_of
+from .stride import accuracy_lower_bound
 from .structsize import RecoveredStruct, recover_struct
 
 
@@ -132,26 +135,83 @@ class OfflineAnalyzer:
         sample_count: int = 0,
     ) -> AnalysisReport:
         """Analyze an already-merged profile (analyzer entry point)."""
-        hot = hot_data(profile, top=self.top, min_share=self.min_share)
-        objects: Dict[DataIdentity, ObjectAnalysis] = {}
-        for entry in hot:
-            analysis = ObjectAnalysis(entry=entry)
-            objects[entry.identity] = analysis
-            recovered = recover_struct(
-                profile, entry.identity, min_unique=self.min_unique
-            )
-            if recovered is None:
-                continue
-            analysis.recovered = recovered
-            analysis.loop_table = loop_offset_table(
-                profile, entry.identity, recovered.size, loop_map
-            )
-            analysis.affinity = compute_affinities(analysis.loop_table)
-            analysis.advice = build_advice(
-                entry.identity,
-                recovered,
-                analysis.affinity,
-                threshold=self.threshold,
+        tracer = telemetry.tracer()
+        metrics = telemetry.metrics_registry()
+        with tracer.span(
+            "analyze",
+            workload=workload,
+            variant=variant,
+            sample_count=sample_count or profile.sample_count,
+            streams=len(profile.streams),
+        ) as analyze_span:
+            all_objects = rank_data_objects(profile)
+            hot = hot_data(profile, top=self.top, min_share=self.min_share)
+            if metrics.enabled:
+                metrics.counter(
+                    "repro_core_hotdata_pass_total",
+                    help="data objects that passed the Eq 1 hot-data filter",
+                ).add(len(hot))
+                metrics.counter(
+                    "repro_core_hotdata_reject_total",
+                    help="data objects rejected by the Eq 1 hot-data filter",
+                ).add(len(all_objects) - len(hot))
+            objects: Dict[DataIdentity, ObjectAnalysis] = {}
+            for entry in hot:
+                analysis = ObjectAnalysis(entry=entry)
+                objects[entry.identity] = analysis
+                if metrics.enabled:
+                    self._export_stream_metrics(metrics, profile, entry)
+                recovered = recover_struct(
+                    profile, entry.identity, min_unique=self.min_unique
+                )
+                if recovered is None:
+                    continue
+                analysis.recovered = recovered
+                with tracer.span(
+                    "cluster", object=entry.name, size=recovered.size
+                ) as span:
+                    analysis.loop_table = loop_offset_table(
+                        profile, entry.identity, recovered.size, loop_map
+                    )
+                    analysis.affinity = compute_affinities(analysis.loop_table)
+                    span.set(
+                        loops=len(analysis.loop_table),
+                        edges=len(analysis.affinity.values),
+                    )
+                with tracer.span("advise", object=entry.name) as span:
+                    analysis.advice = build_advice(
+                        entry.identity,
+                        recovered,
+                        analysis.affinity,
+                        threshold=self.threshold,
+                    )
+                    clusters = (
+                        len(analysis.advice.clusters) if analysis.advice else 0
+                    )
+                    span.set(clusters=clusters)
+                if metrics.enabled:
+                    strong = sum(
+                        1
+                        for _, _, value in analysis.affinity.pairs()
+                        if value >= self.threshold
+                    )
+                    metrics.counter(
+                        "repro_core_affinity_edges_total",
+                        help="affinity-matrix edges examined",
+                    ).add(len(analysis.affinity.values))
+                    metrics.counter(
+                        "repro_core_affinity_edges_strong_total",
+                        help="edges at or above the clustering threshold",
+                    ).add(strong)
+                    metrics.counter(
+                        "repro_core_clusters_total",
+                        help="splitting groups produced by clustering",
+                    ).add(
+                        len(analysis.advice.clusters) if analysis.advice else 0
+                    )
+            analyze_span.set(
+                hot_objects=len(hot),
+                advised=sum(1 for a in objects.values() if a.analyzable()),
             )
         return AnalysisReport(
             workload=workload,
@@ -160,8 +220,26 @@ class OfflineAnalyzer:
             sample_count=sample_count or profile.sample_count,
             hot=hot,
             objects=objects,
-            all_objects=rank_data_objects(profile),
+            all_objects=all_objects,
         )
+
+    @staticmethod
+    def _export_stream_metrics(metrics, profile: ThreadProfile, entry) -> None:
+        """Per-stream GCD work and Eq 4 confidence for one hot object."""
+        confidence = metrics.histogram(
+            "repro_core_eq4_confidence",
+            (0.5, 0.9, 0.99, 0.999, 0.9999, 1.0),
+            help="Eq 4 accuracy lower bound per stream (k unique samples)",
+        )
+        gcd_iterations = metrics.counter(
+            "repro_core_gcd_iterations_total",
+            help="incremental GCD folds performed across hot-object streams",
+        )
+        for stream in streams_of(profile, entry.identity):
+            k = stream.unique_addresses
+            gcd_iterations.add(max(0, k - 1))
+            if k >= 1:
+                confidence.observe(accuracy_lower_bound(k))
 
     def analyze(self, run: ProfiledRun) -> AnalysisReport:
         """Analyze a monitored run end-to-end."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Protocol
 
+from .. import telemetry
 from ..layout.splitting import SplitPlan
 from ..layout.struct import StructType
 from ..memsim.hierarchy import HierarchyConfig
@@ -57,14 +58,28 @@ class OptimizationResult:
         return self.profiled.overhead_percent
 
     def summary_row(self) -> Dict[str, object]:
-        """One Table 3 row."""
-        return {
+        """One Table 3 row, with the overhead number's provenance.
+
+        ``overhead_percent`` is meaningless without knowing what it was
+        priced against, so each row carries the PMU model, the analysis
+        sampling period, and the deployment period the overhead was
+        priced at (plus the decomposed account when available).
+        """
+        row: Dict[str, object] = {
             "benchmark": self.workload,
             "speedup": self.speedup,
             "overhead_percent": self.overhead_percent,
             "original_cycles": self.original.cycles,
             "optimized_cycles": self.optimized.cycles,
+            "pmu": self.profiled.pmu,
+            "sampling_period": self.profiled.sampling_period,
+            "deployment_period": self.profiled.deployment_period,
         }
+        if self.profiled.overhead_account is not None:
+            row["overhead_components_percent"] = (
+                self.profiled.overhead_account.components_percent()
+            )
+        return row
 
 
 def derive_plans(
@@ -99,16 +114,35 @@ def optimize(
     monitor = monitor or Monitor()
     analyzer = analyzer or OfflineAnalyzer()
     threads = num_threads if num_threads is not None else workload.num_threads
+    tracer = telemetry.tracer()
 
-    original_bound = workload.build_original()
-    profiled = monitor.run(original_bound, num_threads=threads, config=config)
-    report = analyzer.analyze(profiled)
+    with tracer.span(
+        "optimize", workload=workload.name, threads=threads
+    ) as optimize_span:
+        original_bound = workload.build_original()
+        profiled = monitor.run(
+            original_bound, num_threads=threads, config=config
+        )
+        report = analyzer.analyze(profiled)
 
-    plans = derive_plans(report, workload.target_structs())
-    optimized_bound = workload.build_split(plans)
-    optimized = monitor.run_unmonitored(
-        optimized_bound, num_threads=threads, config=config
-    )
+        with tracer.span("split", workload=workload.name) as span:
+            plans = derive_plans(report, workload.target_structs())
+            optimized_bound = workload.build_split(plans)
+            span.set(
+                plans=len(plans),
+                split_structs=sorted(plans),
+            )
+
+        with tracer.span("re-run", workload=workload.name) as span:
+            optimized = monitor.run_unmonitored(
+                optimized_bound, num_threads=threads, config=config
+            )
+            span.set(cycles=optimized.cycles)
+
+        optimize_span.set(
+            speedup=speedup(profiled.metrics, optimized),
+            overhead_percent=profiled.overhead_percent,
+        )
     return OptimizationResult(
         workload=workload.name,
         report=report,

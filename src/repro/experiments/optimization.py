@@ -87,6 +87,44 @@ def table3(results: Dict[str, OptimizationResult]) -> Table:
     return table
 
 
+def results_json(results: Dict[str, OptimizationResult]) -> Dict[str, object]:
+    """Machine-readable Tables 3+4: per-benchmark rows with provenance.
+
+    Each row is ``OptimizationResult.summary_row()`` (speedup, overhead
+    and its decomposition, PMU, periods) plus the per-level miss
+    reductions and the paper's published numbers for comparison.
+    """
+    rows = []
+    for name, result in results.items():
+        row = result.summary_row()
+        row["miss_reduction_percent"] = result.miss_reduction
+        p_speedup, p_overhead = PAPER_TABLE3.get(name, (float("nan"),) * 2)
+        paper_l1, paper_l2, paper_l3 = PAPER_TABLE4.get(
+            name, (float("nan"),) * 3
+        )
+        row["paper"] = {
+            "speedup": p_speedup,
+            "overhead_percent": p_overhead,
+            "miss_reduction_percent": {
+                "L1": paper_l1,
+                "L2": paper_l2,
+                "L3": paper_l3,
+            },
+        }
+        rows.append(row)
+    speedups = [r.speedup for r in results.values()]
+    overheads = [r.overhead_percent for r in results.values()]
+    summary = {}
+    if speedups:
+        summary = {
+            "mean_speedup": sum(speedups) / len(speedups),
+            "mean_overhead_percent": sum(overheads) / len(overheads),
+            "paper_mean_speedup": 1.18,
+            "paper_mean_overhead_percent": 7.1,
+        }
+    return {"benchmarks": rows, "summary": summary}
+
+
 def table4(results: Dict[str, OptimizationResult]) -> Table:
     """Table 4: per-level cache-miss reductions, with paper columns."""
     table = Table(

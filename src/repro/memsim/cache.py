@@ -62,6 +62,7 @@ class SetAssociativeCache:
         self._sets: List[List[int]] = [[] for _ in range(num_sets)]
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def _evict_index(self, tags: List[int]) -> int:
         if self._rng is not None:
@@ -81,6 +82,7 @@ class SetAssociativeCache:
         self.misses += 1
         if len(tags) >= self.ways:
             del tags[self._evict_index(tags)]
+            self.evictions += 1
         tags.append(line)
         return False
 
@@ -97,6 +99,7 @@ class SetAssociativeCache:
             victim = self._evict_index(tags)
             evicted = tags[victim]
             del tags[victim]
+            self.evictions += 1
         tags.append(line)
         return evicted
 
@@ -118,6 +121,7 @@ class SetAssociativeCache:
     def reset_stats(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @property
     def accesses(self) -> int:

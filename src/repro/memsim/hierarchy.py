@@ -82,6 +82,11 @@ class _Core:
         )
         self.prefetcher = StreamPrefetcher(degree=config.prefetch_degree)
         self.dtlb = DataTLB(config.tlb) if config.tlb is not None else None
+        # Prefetched-but-not-yet-demanded lines, for the issued/useful
+        # accounting telemetry exports. Bounded by the prefetcher's
+        # issue count; entries leave on first demand hit or eviction.
+        self.prefetched: Set[int] = set()
+        self.prefetch_useful = 0
 
 
 class MemoryHierarchy:
@@ -141,11 +146,15 @@ class MemoryHierarchy:
                 if other != core_id:
                     self.cores[other].l1.invalidate(line)
                     self.cores[other].l2.invalidate(line)
+                    self.cores[other].prefetched.discard(line)
             extra = self.directory.write(core_id, line)
 
         if core.l1.access(line):
             return cfg.l1.latency + extra
         if core.l2.access(line):
+            if core.prefetched and line in core.prefetched:
+                core.prefetched.discard(line)
+                core.prefetch_useful += 1
             core.l1.fill(line)
             return cfg.l2.latency + extra
 
@@ -154,7 +163,10 @@ class MemoryHierarchy:
             if not self.l3.contains(pf_line):
                 self.dram_accesses += 1
                 self.l3.fill(pf_line)
-            core.l2.fill(pf_line)
+            evicted_pf = core.l2.fill(pf_line)
+            core.prefetched.add(pf_line)
+            if evicted_pf is not None:
+                core.prefetched.discard(evicted_pf)
 
         if self.l3.access(line):
             latency = cfg.l3.latency
@@ -165,8 +177,10 @@ class MemoryHierarchy:
             # Read fill: a dirty remote copy is forwarded cache-to-cache.
             extra += self.directory.read(core_id, line)
         evicted = self.l2_fill(core, line)
-        if evicted is not None and self.directory is not None:
-            self.directory.evict(core.id, evicted)
+        if evicted is not None:
+            core.prefetched.discard(evicted)
+            if self.directory is not None:
+                self.directory.evict(core.id, evicted)
         core.l1.fill(line)
         return latency + extra
 
@@ -179,6 +193,60 @@ class MemoryHierarchy:
         if self.directory is None:
             return 0
         return self.directory.stats.invalidations
+
+    # -- telemetry ---------------------------------------------------------
+
+    def export_metrics(self, registry) -> None:
+        """Register this run's hardware-style counters with a
+        :class:`repro.telemetry.MetricsRegistry` (or the no-op one).
+
+        Counter totals accumulate across every run exported into the
+        same registry — the pipeline-wide totals the telemetry session
+        reports.  Names follow the ``repro_memsim_*`` convention in
+        docs/observability.md.
+        """
+        per_level = {
+            "L1": [(c.l1.hits, c.l1.misses, c.l1.evictions) for c in self.cores],
+            "L2": [(c.l2.hits, c.l2.misses, c.l2.evictions) for c in self.cores],
+            "L3": [(self.l3.hits, self.l3.misses, self.l3.evictions)],
+        }
+        for level, stats in per_level.items():
+            registry.counter(
+                "repro_memsim_cache_hits_total",
+                help="cache hits by level", level=level,
+            ).add(sum(s[0] for s in stats))
+            registry.counter(
+                "repro_memsim_cache_misses_total",
+                help="cache misses by level", level=level,
+            ).add(sum(s[1] for s in stats))
+            registry.counter(
+                "repro_memsim_cache_evictions_total",
+                help="cache evictions by level", level=level,
+            ).add(sum(s[2] for s in stats))
+        registry.counter(
+            "repro_memsim_dram_accesses_total", help="DRAM line fetches",
+        ).add(self.dram_accesses)
+        registry.counter(
+            "repro_memsim_prefetch_issued_total",
+            help="L2 streamer prefetches issued",
+        ).add(sum(c.prefetcher.issued for c in self.cores))
+        registry.counter(
+            "repro_memsim_prefetch_useful_total",
+            help="prefetched lines later hit by a demand access",
+        ).add(sum(c.prefetch_useful for c in self.cores))
+        registry.counter(
+            "repro_memsim_coherence_invalidations_total",
+            help="MESI invalidations sent to remote private caches",
+        ).add(self.invalidations)
+        if self.directory is not None:
+            registry.counter(
+                "repro_memsim_coherence_writebacks_total",
+                help="dirty lines written back on remote request",
+            ).add(self.directory.stats.writebacks)
+            registry.counter(
+                "repro_memsim_coherence_cache_to_cache_total",
+                help="dirty lines forwarded cache-to-cache",
+            ).add(self.directory.stats.cache_to_cache)
 
     # -- statistics --------------------------------------------------------
 

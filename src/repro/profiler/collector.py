@@ -72,3 +72,24 @@ class ProfileCollector:
         for sample in samples:
             self.observe_sample(sample)
         return self.profiles
+
+    # -- telemetry ----------------------------------------------------------
+
+    def export_metrics(self, registry) -> None:
+        """Register per-thread collector sizes and the allocation-registry
+        size with a telemetry registry."""
+        for thread, profile in sorted(self.profiles.items()):
+            registry.gauge(
+                "repro_profiler_collector_streams",
+                help="streams held by one thread's collector",
+                thread=thread,
+            ).set(len(profile.streams))
+            registry.counter(
+                "repro_profiler_collector_samples_total",
+                help="samples attributed per thread",
+                thread=thread,
+            ).add(profile.sample_count)
+        registry.gauge(
+            "repro_profiler_allocation_registry_objects",
+            help="data objects tracked by the allocation registry",
+        ).set(len(self.registry))

@@ -9,13 +9,30 @@ change the result — a property the test suite checks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from .online import StreamKey, StreamState
 from .profile import ThreadProfile
 
 #: Thread id used for merged (whole-program) profiles.
 MERGED_THREAD = -1
+
+
+@dataclass
+class MergeStats:
+    """Shape of one reduction-tree merge, for telemetry.
+
+    ``depth`` is the number of pairwise-merge levels executed,
+    ``pair_merges`` the total number of two-profile merges, and
+    ``fan_in`` the tree's branching factor (always 2 here — kept
+    explicit so the metric stays meaningful if the tree generalizes).
+    """
+
+    leaves: int = 0
+    depth: int = 0
+    pair_merges: int = 0
+    fan_in: int = 2
 
 
 def merge_pair(a: ThreadProfile, b: ThreadProfile) -> ThreadProfile:
@@ -58,18 +75,35 @@ def _copy_stream(state: StreamState) -> StreamState:
     return copy
 
 
-def reduction_tree_merge(profiles: Sequence[ThreadProfile]) -> ThreadProfile:
-    """Merge any number of profiles pairwise, level by level."""
+def reduction_tree_merge(
+    profiles: Sequence[ThreadProfile],
+    *,
+    stats: Optional[MergeStats] = None,
+) -> ThreadProfile:
+    """Merge any number of profiles pairwise, level by level.
+
+    Pass a :class:`MergeStats` to have the tree's depth and merge count
+    recorded (the telemetry layer does; the result is unaffected).
+    """
     if not profiles:
         raise ValueError("no profiles to merge")
+    if stats is not None:
+        stats.leaves = len(profiles)
     level: List[ThreadProfile] = list(profiles)
     if len(level) == 1:
+        if stats is not None:
+            stats.depth = 1
+            stats.pair_merges = 1
         return merge_pair(level[0], ThreadProfile(thread=MERGED_THREAD))
     while len(level) > 1:
         next_level: List[ThreadProfile] = []
         for i in range(0, len(level) - 1, 2):
             next_level.append(merge_pair(level[i], level[i + 1]))
+            if stats is not None:
+                stats.pair_merges += 1
         if len(level) % 2 == 1:
             next_level.append(level[-1])
         level = next_level
+        if stats is not None:
+            stats.depth += 1
     return level[0]

@@ -25,9 +25,11 @@ from ..program.ir import Program
 from ..sampling.overhead import OverheadModel
 from ..sampling.pebs import PEBSLoadLatencySampler
 from ..sampling.sampler import SamplingEngine
+from .. import telemetry
+from ..telemetry.overhead import SelfOverheadAccount
 from .allocation import DataObjectRegistry
 from .collector import ProfileCollector
-from .merge import reduction_tree_merge
+from .merge import MergeStats, reduction_tree_merge
 from .profile import ThreadProfile
 
 
@@ -49,6 +51,15 @@ class ProfiledRun:
     line_map: LineMap
     #: The finalized program, for structure-file emission.
     program: Optional[Program] = None
+    #: Provenance: which PMU model produced the samples and at which
+    #: period the overhead was priced (Table 3 self-description).
+    pmu: str = ""
+    deployment_period: Optional[int] = None
+    #: The decomposed monitoring-overhead account; its components sum
+    #: to ``overhead_percent``.
+    overhead_account: Optional[SelfOverheadAccount] = None
+    #: Shape of the reduction-tree merge that built ``merged``.
+    merge_stats: Optional[MergeStats] = None
 
     @property
     def total_latency(self) -> float:
@@ -96,42 +107,123 @@ class Monitor:
         cores = num_cores if num_cores is not None else num_threads
         hierarchy = MemoryHierarchy(config or HierarchyConfig(), cores)
         sampler = self.make_sampler()
+        pmu = getattr(sampler, "PMU_NAME", type(sampler).__name__)
+        tracer = telemetry.tracer()
 
-        # Program-begin callback work: structure recovery and the
-        # allocation registry (symbol table + interposed malloc).
-        loop_map = LoopMap(bound.program)
-        line_map = LineMap(bound.program)
-        registry = DataObjectRegistry.from_address_space(bound.space)
-
-        interp = Interpreter(bound, num_threads=num_threads)
-        metrics = simulate(
-            interp.run(),
-            hierarchy=hierarchy,
-            cost=self.cost_model,
-            observer=sampler.observe,
-            name=bound.name,
+        with tracer.span(
+            "run",
+            workload=bound.name,
             variant=bound.variant,
-        )
+            threads=num_threads,
+            sampling_period=self.sampling_period,
+            pmu=pmu,
+        ) as run_span:
+            # Program-begin callback work: structure recovery and the
+            # allocation registry (symbol table + interposed malloc).
+            with tracer.span("interpret", workload=bound.name) as span:
+                loop_map = LoopMap(bound.program)
+                line_map = LineMap(bound.program)
+                registry = DataObjectRegistry.from_address_space(bound.space)
+                interp = Interpreter(bound, num_threads=num_threads)
+                span.set(loops=len(loop_map), objects=len(registry))
 
-        # Per-thread attribution (online in the real tool; equivalent here).
-        collector = ProfileCollector(registry, loop_map, program_name=bound.name)
-        profiles = collector.collect(sampler.samples)
-        if not profiles:
-            profiles = {0: ThreadProfile(thread=0, program=bound.name)}
-        merged = reduction_tree_merge(list(profiles.values()))
+            with tracer.span("simulate", workload=bound.name) as span:
+                metrics = simulate(
+                    interp.run(),
+                    hierarchy=hierarchy,
+                    cost=self.cost_model,
+                    observer=sampler.observe,
+                    name=bound.name,
+                    variant=bound.variant,
+                )
+                span.set(accesses=metrics.accesses, cycles=metrics.cycles)
 
-        # Price overhead at the deployment sampling period: the analysis
-        # may sample densely (short simulated traces), but the overhead
-        # question is "what would monitoring this execution cost at the
-        # paper's one-in-10,000 rate".
-        if self.deployment_period:
-            priced_samples = sampler.eligible_accesses / self.deployment_period
-        else:
-            priced_samples = float(sampler.sample_count)
-        monitored_cycles = self.overhead_model.monitored_cycles(
-            metrics, priced_samples
-        )
-        overhead = self.overhead_model.overhead_percent(metrics, priced_samples)
+            # Price overhead at the deployment sampling period: the
+            # analysis may sample densely (short simulated traces), but
+            # the overhead question is "what would monitoring this
+            # execution cost at the paper's one-in-10,000 rate".
+            with tracer.span("sample", workload=bound.name) as span:
+                if self.deployment_period:
+                    priced_samples = (
+                        sampler.eligible_accesses / self.deployment_period
+                    )
+                else:
+                    priced_samples = float(sampler.sample_count)
+                components = self.overhead_model.components(
+                    metrics, priced_samples
+                )
+                monitored_cycles = metrics.cycles + sum(components.values())
+                overhead = self.overhead_model.overhead_percent(
+                    metrics, priced_samples
+                )
+                account = SelfOverheadAccount(
+                    workload=bound.name,
+                    variant=bound.variant,
+                    pmu=pmu,
+                    sampling_period=self.sampling_period,
+                    deployment_period=self.deployment_period,
+                    priced_samples=priced_samples,
+                    num_threads=metrics.num_threads,
+                    plain_cycles=metrics.cycles,
+                    interrupt_service_cycles=components["interrupt_service"],
+                    online_analysis_cycles=components["online_analysis"],
+                    collection_cycles=components["collection"],
+                )
+                span.set(
+                    samples=sampler.sample_count,
+                    eligible=sampler.eligible_accesses,
+                    priced_samples=priced_samples,
+                    overhead_percent=overhead,
+                )
+
+            # Per-thread attribution (online in the real tool;
+            # equivalent here).
+            with tracer.span("collect", workload=bound.name) as span:
+                collector = ProfileCollector(
+                    registry, loop_map, program_name=bound.name
+                )
+                profiles = collector.collect(sampler.samples)
+                if not profiles:
+                    profiles = {0: ThreadProfile(thread=0, program=bound.name)}
+                span.set(
+                    threads=len(profiles),
+                    streams=sum(len(p.streams) for p in profiles.values()),
+                )
+
+            merge_stats = MergeStats()
+            with tracer.span("merge", workload=bound.name) as span:
+                merged = reduction_tree_merge(
+                    list(profiles.values()), stats=merge_stats
+                )
+                span.set(
+                    leaves=merge_stats.leaves,
+                    depth=merge_stats.depth,
+                    fan_in=merge_stats.fan_in,
+                )
+
+            run_span.set(
+                sample_count=sampler.sample_count,
+                unique_addresses=sum(
+                    s.unique_addresses for s in merged.streams.values()
+                ),
+                streams=len(merged.streams),
+            )
+
+        if telemetry.enabled():
+            metrics_registry = telemetry.metrics_registry()
+            hierarchy.export_metrics(metrics_registry)
+            sampler.export_metrics(metrics_registry)
+            collector.export_metrics(metrics_registry)
+            metrics_registry.gauge(
+                "repro_profiler_merge_tree_depth",
+                help="levels in the reduction-tree merge",
+            ).set(merge_stats.depth)
+            metrics_registry.gauge(
+                "repro_profiler_merge_tree_fan_in",
+                help="branching factor of the reduction-tree merge",
+            ).set(merge_stats.fan_in)
+            telemetry.record_overhead(account)
+
         return ProfiledRun(
             workload=bound.name,
             variant=bound.variant,
@@ -146,6 +238,10 @@ class Monitor:
             loop_map=loop_map,
             line_map=line_map,
             program=bound.program,
+            pmu=pmu,
+            deployment_period=self.deployment_period,
+            overhead_account=account,
+            merge_stats=merge_stats,
         )
 
     def run_unmonitored(
@@ -159,11 +255,22 @@ class Monitor:
         """Execute without any sampling (the baseline for overhead)."""
         cores = num_cores if num_cores is not None else num_threads
         hierarchy = MemoryHierarchy(config or HierarchyConfig(), cores)
-        interp = Interpreter(bound, num_threads=num_threads)
-        return simulate(
-            interp.run(),
-            hierarchy=hierarchy,
-            cost=self.cost_model,
-            name=bound.name,
+        with telemetry.tracer().span(
+            "simulate",
+            workload=bound.name,
             variant=bound.variant,
-        )
+            threads=num_threads,
+            monitored=False,
+        ) as span:
+            interp = Interpreter(bound, num_threads=num_threads)
+            metrics = simulate(
+                interp.run(),
+                hierarchy=hierarchy,
+                cost=self.cost_model,
+                name=bound.name,
+                variant=bound.variant,
+            )
+            span.set(accesses=metrics.accesses, cycles=metrics.cycles)
+        if telemetry.enabled():
+            hierarchy.export_metrics(telemetry.metrics_registry())
+        return metrics

@@ -13,6 +13,8 @@ from .sampler import SamplingEngine
 class IBSSampler(SamplingEngine):
     """IBS op sampling: both loads and stores are eligible."""
 
+    PMU_NAME = "IBS"
+
     def __init__(self, period: int = 10_000, *, jitter: float = 0.1, seed: int = 0):
         super().__init__(
             period,

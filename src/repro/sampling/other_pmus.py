@@ -35,6 +35,8 @@ class _UnitLatencySampler(SamplingEngine):
 class DEARSampler(_UnitLatencySampler):
     """Itanium Data Event Address Registers (loads only)."""
 
+    PMU_NAME = "DEAR"
+
     def __init__(self, period: int = 10_000, *, jitter: float = 0.1, seed: int = 0):
         super().__init__(period, jitter=jitter, loads_only=True, seed=seed)
 
@@ -42,12 +44,16 @@ class DEARSampler(_UnitLatencySampler):
 class Pentium4PEBSSampler(_UnitLatencySampler):
     """Pentium 4 PEBS: precise, latency-less, loads and stores."""
 
+    PMU_NAME = "P4-PEBS"
+
     def __init__(self, period: int = 10_000, *, jitter: float = 0.1, seed: int = 0):
         super().__init__(period, jitter=jitter, loads_only=False, seed=seed)
 
 
 class MRKSampler(_UnitLatencySampler):
     """IBM POWER5 marked-event sampling (loads only)."""
+
+    PMU_NAME = "MRK"
 
     def __init__(self, period: int = 10_000, *, jitter: float = 0.1, seed: int = 0):
         super().__init__(period, jitter=jitter, loads_only=True, seed=seed)

@@ -23,6 +23,7 @@ sweep them.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 from ..memsim.stats import RunMetrics
 
@@ -46,12 +47,35 @@ class OverheadModel:
     #: dominate them artificially.
     setup_cycles: float = 0.0
 
+    def components(
+        self, plain: RunMetrics, sample_count: float
+    ) -> "Dict[str, float]":
+        """Extra cycles decomposed into the three physical sources.
+
+        ``interrupt_service`` is the PMU interrupt + buffer drain,
+        ``online_analysis`` the in-handler attribution and GCD update,
+        and ``collection`` everything that scales with deployment
+        rather than with one sample: the parallel perturbation penalty
+        and the one-time setup.  The values sum exactly to
+        ``monitored_cycles - plain.cycles``, which is what makes the
+        telemetry self-overhead account auditable.
+        """
+        collection = self.setup_cycles
+        if plain.num_threads > 1:
+            collection += (
+                self.parallel_penalty_cycles
+                * (plain.num_threads - 1)
+                * sample_count
+            )
+        return {
+            "interrupt_service": self.interrupt_cycles * sample_count,
+            "online_analysis": self.analysis_cycles * sample_count,
+            "collection": collection,
+        }
+
     def monitored_cycles(self, plain: RunMetrics, sample_count: float) -> float:
         """Predicted cycles for the monitored run."""
-        per_sample = self.interrupt_cycles + self.analysis_cycles
-        if plain.num_threads > 1:
-            per_sample += self.parallel_penalty_cycles * (plain.num_threads - 1)
-        return plain.cycles + self.setup_cycles + sample_count * per_sample
+        return plain.cycles + sum(self.components(plain, sample_count).values())
 
     def overhead_percent(self, plain: RunMetrics, sample_count: float) -> float:
         """Overhead of monitoring as a percentage of the plain runtime."""

@@ -17,6 +17,8 @@ DEFAULT_LDLAT = 3.0
 class PEBSLoadLatencySampler(SamplingEngine):
     """PEBS-LL: periodic sampling of loads with latency capture."""
 
+    PMU_NAME = "PEBS-LL"
+
     def __init__(
         self,
         period: int = 10_000,

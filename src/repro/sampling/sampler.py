@@ -43,6 +43,10 @@ class SamplingEngine:
         RNG seed; runs are fully deterministic for a given seed.
     """
 
+    #: PMU model name, for overhead-provenance reporting; subclasses
+    #: (PEBS-LL, IBS, ...) override.
+    PMU_NAME = "generic-period"
+
     def __init__(
         self,
         period: int = 10_000,
@@ -65,14 +69,22 @@ class SamplingEngine:
         self.samples: List[AddressSample] = []
         self.eligible_accesses = 0
         self.total_accesses = 0
+        #: Every jittered period actually drawn, for telemetry (one
+        #: append per sample — negligible next to the sample itself).
+        self.periods_drawn: List[int] = []
 
     def _next_period(self) -> int:
         if self.jitter == 0.0:
-            return self.period
-        spread = int(self.period * self.jitter)
-        if spread == 0:
-            return self.period
-        return self.period + self._rng.randint(-spread, spread)
+            drawn = self.period
+        else:
+            spread = int(self.period * self.jitter)
+            drawn = (
+                self.period
+                if spread == 0
+                else self.period + self._rng.randint(-spread, spread)
+            )
+        self.periods_drawn.append(drawn)
+        return drawn
 
     def observe(self, access: MemoryAccess, latency: float) -> None:
         """Observer hook: called for every access the simulator executes."""
@@ -128,3 +140,59 @@ class SamplingEngine:
         self.samples.clear()
         self.eligible_accesses = 0
         self.total_accesses = 0
+        self.periods_drawn.clear()
+
+    # -- telemetry ----------------------------------------------------------
+
+    def export_metrics(self, registry) -> None:
+        """Register sampling counters, period-jitter gauges, and the
+        sample-latency histogram with a telemetry registry.
+
+        The latency histogram is built here, at export time, from the
+        already-captured samples — the hot observe() path stays
+        untouched.
+        """
+        registry.counter(
+            "repro_sampling_accesses_total",
+            help="accesses seen by the sampling engine",
+        ).add(self.total_accesses)
+        registry.counter(
+            "repro_sampling_eligible_total",
+            help="accesses eligible for sampling (after load/latency filters)",
+        ).add(self.eligible_accesses)
+        registry.counter(
+            "repro_sampling_samples_taken_total",
+            help="samples actually captured",
+        ).add(self.sample_count)
+        registry.counter(
+            "repro_sampling_dropped_total",
+            help="accesses filtered out before period counting",
+        ).add(self.total_accesses - self.eligible_accesses)
+        registry.gauge(
+            "repro_sampling_period", help="configured mean sampling period",
+        ).set(self.period)
+        registry.gauge(
+            "repro_sampling_period_jitter_ratio",
+            help="configured fractional period randomization",
+        ).set(self.jitter)
+        if self.periods_drawn:
+            n = len(self.periods_drawn)
+            mean = sum(self.periods_drawn) / n
+            var = sum((p - mean) ** 2 for p in self.periods_drawn) / n
+            registry.gauge(
+                "repro_sampling_period_observed_mean",
+                help="mean of the jittered periods actually drawn",
+            ).set(mean)
+            registry.gauge(
+                "repro_sampling_period_observed_stddev",
+                help="stddev of the jittered periods actually drawn",
+            ).set(var ** 0.5)
+        from ..telemetry.metrics import LATENCY_BUCKETS_CYCLES
+
+        histogram = registry.histogram(
+            "repro_sampling_latency_cycles",
+            LATENCY_BUCKETS_CYCLES,
+            help="load-to-use latency of captured samples",
+        )
+        for sample in self.samples:
+            histogram.observe(sample.latency)

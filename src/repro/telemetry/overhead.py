@@ -1,0 +1,159 @@
+"""The self-overhead account: the paper's ~7% figure, decomposed.
+
+Table 3 reports monitoring overhead as one number per benchmark.  The
+model behind it (:class:`repro.sampling.overhead.OverheadModel`) already
+prices three physically distinct costs; this account keeps them apart
+so the gap between monitored and unmonitored cycles is auditable:
+
+- **interrupt-service** — taking the PMU interrupt and draining the
+  PEBS/IBS buffer (``interrupt_cycles`` per sample);
+- **online-analysis** — the handler's attribution + incremental GCD
+  update (``analysis_cycles`` per sample);
+- **collection** — everything that scales with the deployment, not the
+  sample: the per-thread buffer/cache perturbation in parallel runs
+  (``parallel_penalty_cycles`` × (threads − 1) per sample) plus the
+  one-time setup cost.
+
+The three components sum to the exact extra-cycles figure the model
+reports, so ``overhead_percent`` here equals
+:meth:`OverheadModel.overhead_percent` by construction.  The account
+also records the provenance Table 3 rows need to be self-describing:
+which PMU was modelled and at which analysis/deployment periods the
+number was priced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+#: Component names, in presentation order.
+COMPONENTS = ("interrupt_service", "online_analysis", "collection")
+
+
+@dataclass(frozen=True)
+class SelfOverheadAccount:
+    """Decomposed monitoring overhead for one profiled run."""
+
+    workload: str
+    variant: str
+    pmu: str
+    sampling_period: int
+    deployment_period: Optional[int]
+    priced_samples: float
+    num_threads: int
+    plain_cycles: float
+    #: Total extra cycles per component (already multiplied out).
+    interrupt_service_cycles: float
+    online_analysis_cycles: float
+    collection_cycles: float
+
+    @property
+    def extra_cycles(self) -> float:
+        return (
+            self.interrupt_service_cycles
+            + self.online_analysis_cycles
+            + self.collection_cycles
+        )
+
+    @property
+    def monitored_cycles(self) -> float:
+        return self.plain_cycles + self.extra_cycles
+
+    def _percent(self, cycles: float) -> float:
+        if self.plain_cycles <= 0:
+            return 0.0
+        return 100.0 * cycles / self.plain_cycles
+
+    @property
+    def interrupt_service_percent(self) -> float:
+        return self._percent(self.interrupt_service_cycles)
+
+    @property
+    def online_analysis_percent(self) -> float:
+        return self._percent(self.online_analysis_cycles)
+
+    @property
+    def collection_percent(self) -> float:
+        return self._percent(self.collection_cycles)
+
+    @property
+    def overhead_percent(self) -> float:
+        """Components summed — equals the model's headline number."""
+        return self._percent(self.extra_cycles)
+
+    def components_percent(self) -> Dict[str, float]:
+        return {
+            "interrupt_service": self.interrupt_service_percent,
+            "online_analysis": self.online_analysis_percent,
+            "collection": self.collection_percent,
+        }
+
+    def components_cycles(self) -> Dict[str, float]:
+        return {
+            "interrupt_service": self.interrupt_service_cycles,
+            "online_analysis": self.online_analysis_cycles,
+            "collection": self.collection_cycles,
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "variant": self.variant,
+            "pmu": self.pmu,
+            "sampling_period": self.sampling_period,
+            "deployment_period": self.deployment_period,
+            "priced_samples": self.priced_samples,
+            "num_threads": self.num_threads,
+            "plain_cycles": self.plain_cycles,
+            "monitored_cycles": self.monitored_cycles,
+            "overhead_percent": self.overhead_percent,
+            "components_percent": self.components_percent(),
+            "components_cycles": self.components_cycles(),
+        }
+
+    def render(self) -> str:
+        """Human-readable breakdown for ``repro stats``."""
+        period = (
+            f"analysis period {self.sampling_period}, priced at "
+            f"deployment period {self.deployment_period}"
+            if self.deployment_period
+            else f"period {self.sampling_period}"
+        )
+        lines = [
+            f"self-overhead account: {self.workload} ({self.variant}), "
+            f"{self.pmu}, {period}",
+            f"  plain cycles        : {self.plain_cycles:.0f}",
+            f"  priced samples      : {self.priced_samples:.1f} "
+            f"(threads: {self.num_threads})",
+        ]
+        for label, cycles, percent in (
+            ("interrupt-service", self.interrupt_service_cycles,
+             self.interrupt_service_percent),
+            ("online-analysis", self.online_analysis_cycles,
+             self.online_analysis_percent),
+            ("collection", self.collection_cycles, self.collection_percent),
+        ):
+            lines.append(
+                f"  {label:<20}: {percent:6.2f}%  ({cycles:.0f} cycles)"
+            )
+        lines.append(
+            f"  overhead (sum)      : {self.overhead_percent:6.2f}%  "
+            f"({self.extra_cycles:.0f} cycles)"
+        )
+        return "\n".join(lines)
+
+    def export_metrics(self, registry) -> None:
+        """Publish the account through a metrics registry."""
+        for component, percent in self.components_percent().items():
+            registry.gauge(
+                "repro_overhead_component_percent",
+                help="decomposed monitoring overhead, percent of plain cycles",
+                workload=self.workload,
+                component=component,
+            ).set(percent)
+        registry.gauge(
+            "repro_overhead_total_percent",
+            help="total modelled monitoring overhead (component sum)",
+            workload=self.workload,
+        ).set(self.overhead_percent)

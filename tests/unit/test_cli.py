@@ -1,6 +1,7 @@
 """Unit tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -117,6 +118,91 @@ class TestSensitivityCommand:
         assert code == 0
         assert "advice matches paper" in text
         assert "101" in text and "1009" in text
+
+
+class TestAnalyzeJsonMode:
+    def test_json_output_parses_with_expected_keys(self):
+        code, text = run_cli("analyze", "462.libquantum", "--scale", "0.1",
+                             "--json")
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["workload"] == "462.libquantum"
+        for key in ("pmu", "sampling_period", "deployment_period",
+                    "overhead_percent", "overhead_account", "hot", "objects"):
+            assert key in payload
+        assert payload["pmu"] == "PEBS-LL"
+        names = {obj["name"] for obj in payload["objects"]}
+        assert "reg_nodes" in names
+
+    def test_json_overhead_account_components_sum(self):
+        _, text = run_cli("analyze", "462.libquantum", "--scale", "0.1",
+                          "--json")
+        account = json.loads(text)["overhead_account"]
+        total = sum(account["components_percent"].values())
+        assert abs(total - account["overhead_percent"]) < 1e-9
+
+    def test_json_with_check_adds_verdict(self):
+        code, text = run_cli("analyze", "462.libquantum", "--scale", "0.1",
+                             "--json", "--check")
+        assert code == 0
+        assert json.loads(text)["cross_validation_ok"] is True
+
+
+class TestWorkloadAliases:
+    def test_aliases_resolve(self):
+        from repro.cli import resolve_workload
+
+        assert resolve_workload("art") == "179.ART"
+        assert resolve_workload("libquantum") == "462.libquantum"
+        assert resolve_workload("clomp") == "CLOMP 1.2"
+        assert resolve_workload("tsp") == "TSP"
+        assert resolve_workload("179.ART") == "179.ART"
+        assert resolve_workload("no-such") is None
+
+
+class TestTraceCommand:
+    def test_trace_writes_telemetry_files(self, tmp_path):
+        code, text = run_cli("trace", "libquantum", "--scale", "0.1",
+                             "--telemetry", str(tmp_path))
+        assert code == 0
+        assert "traced 462.libquantum" in text
+        assert "stages:" in text
+        for stage in ("run", "simulate", "analyze", "split", "re-run"):
+            assert stage in text
+        for name in ("trace.json", "telemetry.jsonl", "metrics.prom",
+                     "overhead.json"):
+            assert (tmp_path / name).exists()
+
+    def test_trace_unknown_workload_exits_2(self, tmp_path):
+        code, text = run_cli("trace", "bogus", "--telemetry", str(tmp_path))
+        assert code == 2
+        assert "unknown workload" in text
+
+
+class TestStatsCommand:
+    def test_stats_shows_cache_counters_and_account(self):
+        code, text = run_cli("stats", "--scale", "0.1")
+        assert code == 0
+        assert 'repro_memsim_cache_misses_total{level="L1"}' in text
+        assert 'repro_memsim_cache_misses_total{level="L3"}' in text
+        assert "self-overhead account:" in text
+        assert "overhead (sum)" in text
+
+
+class TestTelemetryFlag:
+    def test_analyze_telemetry_exports_files(self, tmp_path):
+        code, text = run_cli("analyze", "462.libquantum", "--scale", "0.1",
+                             "--telemetry", str(tmp_path))
+        assert code == 0
+        assert (tmp_path / "trace.json").exists()
+        assert "telemetry files" in text
+
+    def test_optimize_telemetry_exports_files(self, tmp_path):
+        code, text = run_cli("optimize", "462.libquantum", "--scale", "0.3",
+                             "--telemetry", str(tmp_path))
+        assert code == 0
+        assert (tmp_path / "trace.json").exists()
+        assert "speedup:" in text
 
 
 class TestParserBasics:

@@ -24,6 +24,10 @@ def fake_result(name, orig_cycles, opt_cycles, overhead=3.0):
 
     class _Profiled:
         overhead_percent = overhead
+        pmu = "PEBS-LL"
+        sampling_period = 503
+        deployment_period = 10_000
+        overhead_account = None
 
     return OptimizationResult(
         workload=name, report=None, plans={}, original=original,
@@ -61,6 +65,30 @@ class TestTableBuilders:
         assert result.workload == "462.libquantum"
         assert result.speedup > 1.0
         assert result.report.hot
+
+
+class TestResultsJson:
+    def test_rows_carry_provenance_and_paper_values(self):
+        from repro.experiments.optimization import results_json
+
+        payload = results_json({
+            "179.ART": fake_result("179.ART", 200.0, 100.0),
+            "TSP": fake_result("TSP", 110.0, 100.0),
+        })
+        assert len(payload["benchmarks"]) == 2
+        row = payload["benchmarks"][0]
+        assert row["benchmark"] == "179.ART"
+        assert row["pmu"] == "PEBS-LL"
+        assert row["sampling_period"] == 503
+        assert row["deployment_period"] == 10_000
+        assert row["speedup"] == pytest.approx(2.0)
+        assert row["miss_reduction_percent"]["L1"] == pytest.approx(60.0)
+        assert row["paper"]["speedup"] == PAPER_TABLE3["179.ART"][0]
+        assert (row["paper"]["miss_reduction_percent"]["L1"]
+                == PAPER_TABLE4["179.ART"][0])
+        summary = payload["summary"]
+        assert summary["mean_speedup"] == pytest.approx(1.55)
+        assert summary["paper_mean_overhead_percent"] == 7.1
 
 
 class TestEvaluationReport:

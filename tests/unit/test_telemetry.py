@@ -1,0 +1,369 @@
+"""Unit tests for ``repro.telemetry``: spans, metrics, exporters."""
+
+import itertools
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    LATENCY_BUCKETS_CYCLES,
+    NULL_REGISTRY,
+    NULL_TRACER,
+    MetricsRegistry,
+    SelfOverheadAccount,
+    Tracer,
+    chrome_trace,
+    jsonl,
+    prometheus_text,
+    to_jsonable,
+)
+
+GOLDEN = Path(__file__).parent.parent / "data" / "golden_trace.json"
+
+
+def fake_clock():
+    """A deterministic clock: 0.0, 1.0, 2.0, ... per call."""
+    counter = itertools.count()
+    return lambda: float(next(counter))
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer(fake_clock())
+        with tracer.span("run"):
+            with tracer.span("interpret"):
+                pass
+            with tracer.span("simulate"):
+                pass
+        (root,) = tracer.roots
+        assert root.name == "run"
+        assert [c.name for c in root.children] == ["interpret", "simulate"]
+        assert root.find("simulate") is root.children[1]
+
+    def test_timing_uses_injected_clock(self):
+        tracer = Tracer(fake_clock())
+        with tracer.span("outer"):          # start=0
+            with tracer.span("inner"):      # start=1, end=2
+                pass
+        # outer closes at t=3
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert outer.start == 0.0 and outer.end == 3.0
+        assert outer.duration == 3.0
+        assert inner.duration == 1.0
+
+    def test_attributes_via_kwargs_and_set(self):
+        tracer = Tracer(fake_clock())
+        with tracer.span("run", workload="art") as span:
+            span.set(samples=42)
+            tracer.annotate(threads=4)
+        assert tracer.roots[0].attributes == {
+            "workload": "art", "samples": 42, "threads": 4,
+        }
+
+    def test_current_tracks_innermost_open_span(self):
+        tracer = Tracer(fake_clock())
+        assert tracer.current() is None
+        with tracer.span("a"):
+            with tracer.span("b"):
+                assert tracer.current().name == "b"
+            assert tracer.current().name == "a"
+        assert tracer.current() is None
+
+    def test_exception_inside_span_keeps_nesting_sane(self):
+        tracer = Tracer(fake_clock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("run"):
+                with tracer.span("broken"):
+                    raise RuntimeError("boom")
+        # Both spans closed; a later span is a fresh root, not a child.
+        with tracer.span("next"):
+            pass
+        assert [r.name for r in tracer.roots] == ["run", "next"]
+        assert all(s.end is not None for s in tracer.all_spans())
+
+    def test_span_names_depth_first(self):
+        tracer = Tracer(fake_clock())
+        with tracer.span("run"):
+            with tracer.span("simulate"):
+                pass
+        with tracer.span("analyze"):
+            pass
+        assert tracer.span_names() == ["run", "simulate", "analyze"]
+
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("anything", attr=1) as span:
+            span.set(more=2)
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.span_names() == []
+        assert NULL_TRACER.current() is None
+        assert span.attributes == {}
+
+
+class TestMetrics:
+    def test_counter_accumulates_and_rejects_negative(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_test_total")
+        counter.inc()
+        counter.add(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_sets_and_moves(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("repro_test_depth")
+        gauge.set(7)
+        gauge.inc(-2)
+        assert gauge.value == 5.0
+
+    def test_get_or_create_is_identity_per_labelset(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_test_total", level="L1")
+        b = registry.counter("repro_test_total", level="L1")
+        c = registry.counter("repro_test_total", level="L2")
+        assert a is b and a is not c
+
+    def test_kind_collision_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_test_total")
+
+    def test_naming_convention_enforced(self):
+        registry = MetricsRegistry()
+        for bad in ("Bad", "1leading", "has-dash", "has space"):
+            with pytest.raises(ValueError):
+                registry.counter(bad)
+
+    def test_histogram_le_edge_semantics(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_test_latency", (4.0, 8.0, 16.0))
+        # A value exactly on an edge belongs to that bucket (le).
+        for value in (4.0, 4.0, 8.0, 9.0, 100.0):
+            histogram.observe(value)
+        cumulative = dict(histogram.cumulative())
+        assert cumulative[4.0] == 2       # both 4.0 observations
+        assert cumulative[8.0] == 3       # + the 8.0 (not the 9.0)
+        assert cumulative[16.0] == 4      # + the 9.0
+        assert cumulative[math.inf] == 5  # everything
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(125.0)
+
+    def test_histogram_edges_must_increase(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("repro_test_bad", (8.0, 4.0))
+        with pytest.raises(ValueError):
+            registry.histogram("repro_test_dup", (4.0, 4.0))
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_test_latency", (4.0, 8.0))
+        with pytest.raises(ValueError, match="different buckets"):
+            registry.histogram("repro_test_latency", (4.0, 16.0))
+
+    def test_snapshot_flattens_by_label_suffix(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total", level="L1").add(3)
+        snapshot = registry.snapshot()
+        assert snapshot['repro_test_total{level="L1"}'] == 3
+
+    def test_null_registry_swallows_everything(self):
+        NULL_REGISTRY.counter("repro_x_total").inc()
+        NULL_REGISTRY.gauge("repro_x_depth").set(9)
+        NULL_REGISTRY.histogram("repro_x_latency", LATENCY_BUCKETS_CYCLES
+                                ).observe(3)
+        assert NULL_REGISTRY.enabled is False
+        assert NULL_REGISTRY.instruments() == []
+        assert NULL_REGISTRY.snapshot() == {}
+
+
+def make_account(**overrides):
+    values = dict(
+        workload="figure1",
+        variant="original",
+        pmu="PEBS-LL",
+        sampling_period=503,
+        deployment_period=10_000,
+        priced_samples=12.0,
+        num_threads=4,
+        plain_cycles=1_000_000.0,
+        interrupt_service_cycles=12_000.0,
+        online_analysis_cycles=5_000.0,
+        collection_cycles=3_000.0,
+    )
+    values.update(overrides)
+    return SelfOverheadAccount(**values)
+
+
+class TestSelfOverheadAccount:
+    def test_components_sum_to_overhead_percent(self):
+        account = make_account()
+        assert account.extra_cycles == 20_000.0
+        assert account.overhead_percent == pytest.approx(2.0)
+        assert sum(account.components_percent().values()) == pytest.approx(
+            account.overhead_percent
+        )
+        assert account.monitored_cycles == 1_020_000.0
+
+    def test_zero_plain_cycles_reports_zero(self):
+        account = make_account(plain_cycles=0.0)
+        assert account.overhead_percent == 0.0
+
+    def test_render_names_every_component(self):
+        text = make_account().render()
+        for label in ("interrupt-service", "online-analysis", "collection",
+                      "overhead (sum)", "PEBS-LL", "deployment period 10000"):
+            assert label in text
+
+    def test_export_metrics_publishes_gauges(self):
+        registry = MetricsRegistry()
+        make_account().export_metrics(registry)
+        total = registry.get("repro_overhead_total_percent",
+                             workload="figure1")
+        assert total.value == pytest.approx(2.0)
+        component = registry.get("repro_overhead_component_percent",
+                                 workload="figure1",
+                                 component="interrupt_service")
+        assert component.value == pytest.approx(1.2)
+
+
+class TestSession:
+    def test_disabled_by_default(self):
+        assert telemetry.enabled() is False
+        assert telemetry.tracer() is NULL_TRACER
+        assert telemetry.metrics_registry() is NULL_REGISTRY
+
+    def test_session_scopes_the_globals(self):
+        with telemetry.session(fake_clock()) as session:
+            assert telemetry.enabled()
+            assert telemetry.tracer() is session.tracer
+            assert telemetry.metrics_registry() is session.metrics
+        assert telemetry.enabled() is False
+
+    def test_record_overhead_files_and_exports(self):
+        with telemetry.session(fake_clock()) as session:
+            telemetry.record_overhead(make_account())
+            assert len(session.overhead_accounts) == 1
+            assert session.metrics.get(
+                "repro_overhead_total_percent", workload="figure1"
+            ) is not None
+
+    def test_record_overhead_without_session_is_noop(self):
+        telemetry.record_overhead(make_account())  # must not raise
+        assert telemetry.enabled() is False
+
+
+class TestToJsonable:
+    def test_handles_tuples_sets_and_tuple_keys(self):
+        value = {("main", "Arr"): {3, 1, 2}, "pair": (1, 2)}
+        assert to_jsonable(value) == {"main/Arr": [1, 2, 3], "pair": [1, 2]}
+
+    def test_non_finite_floats_become_strings(self):
+        assert to_jsonable(math.inf) == "inf"
+        assert to_jsonable(float("nan")) == "nan"
+        assert to_jsonable(1.5) == 1.5
+
+    def test_dataclasses_become_dicts(self):
+        encoded = to_jsonable(make_account())
+        assert encoded["workload"] == "figure1"
+        assert encoded["pmu"] == "PEBS-LL"
+
+
+class TestExporters:
+    def build_session(self):
+        session = telemetry.start(fake_clock())
+        tracer = session.tracer
+        with tracer.span("run", workload="figure1"):
+            with tracer.span("simulate") as span:
+                span.set(accesses=1024)
+        session.metrics.counter(
+            "repro_memsim_cache_misses_total", help="cache misses by level",
+            level="L1",
+        ).add(7)
+        session.metrics.histogram(
+            "repro_sampling_latency_cycles", (4.0, 8.0),
+            help="sample latency",
+        ).observe(5.0)
+        telemetry.record_overhead(make_account())
+        telemetry.stop()
+        return session
+
+    def test_chrome_trace_shape(self):
+        session = self.build_session()
+        doc = chrome_trace(session.tracer)
+        assert doc["displayTimeUnit"] == "ms"
+        kinds = [e["ph"] for e in doc["traceEvents"]]
+        assert kinds == ["M", "X", "X"]
+        run, simulate = doc["traceEvents"][1:]
+        assert run["name"] == "run" and run["ts"] == 0.0
+        assert simulate["ts"] == 1e6 and simulate["dur"] == 1e6
+        assert simulate["args"] == {"accesses": 1024}
+        # Perfetto-loadable means plain-JSON round-trippable.
+        json.loads(json.dumps(doc))
+
+    def test_chrome_trace_matches_golden_file(self):
+        clock = fake_clock()
+        tracer = Tracer(clock)
+        with tracer.span("run", workload="figure1", threads=1):
+            with tracer.span("interpret") as span:
+                span.set(loops=2)
+            with tracer.span("simulate") as span:
+                span.set(accesses=1024)
+        with tracer.span("analyze", workload="figure1"):
+            with tracer.span("cluster", object="Arr"):
+                pass
+            with tracer.span("advise", object="Arr") as span:
+                span.set(clusters=2)
+        rendered = json.dumps(chrome_trace(tracer), indent=2, sort_keys=True)
+        assert rendered + "\n" == GOLDEN.read_text()
+
+    def test_jsonl_every_line_parses(self):
+        session = self.build_session()
+        lines = jsonl(session).splitlines()
+        events = [json.loads(line) for line in lines]
+        types = {event["type"] for event in events}
+        assert types == {"span", "metric", "overhead_account"}
+        spans = [e for e in events if e["type"] == "span"]
+        child = next(e for e in spans if e["name"] == "simulate")
+        parent = next(e for e in spans if e["name"] == "run")
+        assert child["parent"] == parent["id"]
+        histogram = next(e for e in events
+                         if e.get("name") == "repro_sampling_latency_cycles")
+        assert histogram["count"] == 1
+        assert histogram["buckets"][-1]["le"] == "inf"
+
+    def test_prometheus_text_format(self):
+        session = self.build_session()
+        text = prometheus_text(session.metrics)
+        assert "# TYPE repro_memsim_cache_misses_total counter" in text
+        assert '# HELP repro_memsim_cache_misses_total cache misses' in text
+        assert 'repro_memsim_cache_misses_total{level="L1"} 7' in text
+        assert "# TYPE repro_sampling_latency_cycles histogram" in text
+        assert 'repro_sampling_latency_cycles_bucket{le="8"} 1' in text
+        assert 'repro_sampling_latency_cycles_bucket{le="+Inf"} 1' in text
+        assert "repro_sampling_latency_cycles_sum 5" in text
+        assert "repro_sampling_latency_cycles_count 1" in text
+        assert text.endswith("\n")
+
+    def test_prometheus_header_emitted_once_per_name(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total", level="L1").add(1)
+        registry.counter("repro_test_total", level="L2").add(2)
+        text = prometheus_text(registry)
+        assert text.count("# TYPE repro_test_total counter") == 1
+
+    def test_write_telemetry_emits_all_files(self, tmp_path):
+        session = self.build_session()
+        paths = telemetry.write_telemetry(session, tmp_path)
+        names = {path.name for path in paths}
+        assert names == {"trace.json", "telemetry.jsonl", "metrics.prom",
+                         "overhead.json"}
+        for path in paths:
+            assert path.exists()
+        accounts = json.loads((tmp_path / "overhead.json").read_text())
+        assert accounts[0]["workload"] == "figure1"
