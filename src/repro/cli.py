@@ -18,6 +18,14 @@ paper's artifacts:
 ``analyze``, ``optimize``, and ``table3`` additionally accept
 ``--telemetry DIR`` (export spans/metrics for the run) and — for
 ``analyze``/``table3`` — ``--json`` (machine-readable results).
+
+The experiment commands (``table3``, ``optimize``, ``summary``,
+``overhead``, ``sensitivity``) also accept ``--jobs N`` (fan the
+independent workload runs over N worker processes) and ``--cache DIR``
+(content-addressed result cache: warm re-runs of unchanged
+workload/config pairs execute nothing and print byte-identical
+output).  Both are handled by :mod:`repro.runner`; a summary line with
+the hit/miss/execution counts goes to stderr.
 """
 
 from __future__ import annotations
@@ -32,6 +40,17 @@ from .core import OfflineAnalyzer, derive_plans, optimize, recommend_regrouping
 from .memsim import speedup
 from .profiler import Monitor
 from .workloads import TABLE2_WORKLOADS, RegroupingWorkload
+
+
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    """``--jobs``/``--cache``: the parallel-runner knobs."""
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run independent workloads on N worker "
+                             "processes (default: 1, serial)")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="content-addressed result cache; warm re-runs "
+                             "of unchanged (workload, config) pairs return "
+                             "instantly with identical output")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -57,6 +76,8 @@ def _build_parser() -> argparse.ArgumentParser:
                             "graphs, plans.json, structure.xml) here")
         p.add_argument("--telemetry", metavar="DIR", default=None,
                        help="record spans/metrics and export them to DIR")
+        if name == "optimize":
+            _add_runner_args(p)
         if name == "analyze":
             p.add_argument("--check", action="store_true",
                            help="cross-validate the sampled results against "
@@ -82,6 +103,7 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="record spans/metrics and export them to DIR")
     p.add_argument("--json", action="store_true",
                    help="print machine-readable JSON instead of the tables")
+    _add_runner_args(p)
 
     p = sub.add_parser(
         "trace",
@@ -115,6 +137,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("overhead", help="regenerate Figure 4 or 5")
     p.add_argument("suite", choices=["rodinia", "spec"])
+    _add_runner_args(p)
 
     p = sub.add_parser("accuracy", help="regenerate the Eq 4 study")
     p.add_argument("--trials", type=int, default=1000)
@@ -130,11 +153,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.5)
     p.add_argument("--periods", type=int, nargs="+",
                    default=[127, 509, 2003, 8009, 32003])
+    _add_runner_args(p)
 
     p = sub.add_parser("summary", help="regenerate the complete evaluation")
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--no-suites", action="store_true",
                    help="skip the Figure 4/5 suite sweeps")
+    _add_runner_args(p)
     return parser
 
 
@@ -191,6 +216,26 @@ def _telemetry_scope(args, out):
     destination = out if not getattr(args, "json", False) else sys.stderr
     print(f"wrote {len(paths)} telemetry files to {directory}",
           file=destination)
+
+
+def _runner_stats(args):
+    """A RunnerStats to accumulate into, when the runner is in play."""
+    if getattr(args, "jobs", 1) > 1 or getattr(args, "cache", None):
+        from .runner import RunnerStats
+
+        return RunnerStats()
+    return None
+
+
+def _print_runner_stats(stats) -> None:
+    """One stderr line with the runner's hit/miss/execution counts.
+
+    stderr so machine-readable stdout (``--json``) stays clean and cold
+    vs warm runs diff clean; CI greps this line to prove a warm cache
+    re-run executed nothing.
+    """
+    if stats is not None:
+        print(stats.describe(), file=sys.stderr)
 
 
 def _cmd_list(args, out) -> int:
@@ -317,6 +362,8 @@ def _maybe_write_package(args, report, workload, run, out) -> None:
 
 
 def _cmd_optimize(args, out) -> int:
+    if (args.jobs > 1 or args.cache) and not args.out:
+        return _cmd_optimize_via_runner(args, out)
     with _telemetry_scope(args, out):
         workload, monitor, run, _ = _monitored_run(args)
         report = OfflineAnalyzer().analyze(run)
@@ -334,6 +381,35 @@ def _cmd_optimize(args, out) -> int:
     for plan in plans.values():
         print(f"\nadvice: {plan.describe()}", file=out)
     print(f"speedup: {speedup(run.metrics, optimized):.2f}x", file=out)
+    return 0
+
+
+def _cmd_optimize_via_runner(args, out) -> int:
+    """The optimize cycle as one runner task, so ``--cache`` warm runs
+    print the identical report without executing the workload.
+
+    (``--out`` needs the live run objects and therefore always takes
+    the direct path.)
+    """
+    from .runner import TaskSpec, run_tasks
+
+    stats = _runner_stats(args)
+    spec = TaskSpec(
+        kind="optimize-report",
+        name=args.workload,
+        params={"scale": args.scale, "period": args.period},
+    )
+    with _telemetry_scope(args, out):
+        (record,) = run_tasks([spec], jobs=args.jobs, cache=args.cache,
+                              stats=stats)
+    _print_runner_stats(stats)
+    print(record["report"], file=out)
+    if not record["advice"]:
+        print("\nno split recommended", file=out)
+        return 1
+    for advice in record["advice"]:
+        print(f"\nadvice: {advice}", file=out)
+    print(f"speedup: {record['speedup']:.2f}x", file=out)
     return 0
 
 
@@ -358,8 +434,11 @@ def _cmd_table3(args, out) -> int:
     from .experiments import run_all, table3, table4
     from .experiments.optimization import results_json
 
+    stats = _runner_stats(args)
     with _telemetry_scope(args, out):
-        results = run_all(scale=args.scale)
+        results = run_all(scale=args.scale, jobs=args.jobs,
+                          cache=args.cache, runner_stats=stats)
+    _print_runner_stats(stats)
     if getattr(args, "json", False):
         _print_json(results_json(results), out)
         return 0
@@ -439,7 +518,10 @@ def _cmd_art(args, out) -> int:
 def _cmd_overhead(args, out) -> int:
     from .experiments import run_suite_overheads
 
-    result = run_suite_overheads(args.suite)
+    stats = _runner_stats(args)
+    result = run_suite_overheads(args.suite, jobs=args.jobs,
+                                 cache=args.cache, runner_stats=stats)
+    _print_runner_stats(stats)
     print(result.chart(), file=out)
     return 0
 
@@ -466,8 +548,11 @@ def _cmd_views(args, out) -> int:
 def _cmd_sensitivity(args, out) -> int:
     from .experiments import sensitivity_table, sweep_sampling_period
 
+    stats = _runner_stats(args)
     workload = TABLE2_WORKLOADS[args.workload](scale=args.scale)
-    points = sweep_sampling_period(workload, args.periods)
+    points = sweep_sampling_period(workload, args.periods, jobs=args.jobs,
+                                   cache=args.cache, runner_stats=stats)
+    _print_runner_stats(stats)
     print(sensitivity_table(workload.name, points).render(), file=out)
     return 0
 
@@ -475,11 +560,16 @@ def _cmd_sensitivity(args, out) -> int:
 def _cmd_summary(args, out) -> int:
     from .experiments import run_complete_evaluation
 
+    stats = _runner_stats(args)
     report = run_complete_evaluation(
         scale=args.scale,
         include_suites=not args.no_suites,
         progress=lambda message: print(message, file=out),
+        jobs=args.jobs,
+        cache=args.cache,
+        runner_stats=stats,
     )
+    _print_runner_stats(stats)
     print(file=out)
     print(report.render(), file=out)
     return 0

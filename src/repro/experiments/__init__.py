@@ -34,6 +34,8 @@ from .art_analysis import (
 from .optimization import (
     PAPER_TABLE3,
     PAPER_TABLE4,
+    BenchmarkRecord,
+    benchmark_record,
     run_all,
     run_benchmark,
     table3,
@@ -48,6 +50,7 @@ from .overhead_suite import (
 from .report import Table, bar_chart
 from .sensitivity import (
     PeriodPoint,
+    measure_period_point,
     sensitivity_table,
     stable_period_range,
     sweep_sampling_period,
@@ -62,11 +65,14 @@ __all__ = [
     "PAPER_TABLE4",
     "PAPER_TABLE5",
     "PAPER_TABLE6",
+    "BenchmarkRecord",
     "SuiteOverheads",
     "Table",
     "bar_chart",
+    "benchmark_record",
     "figure6",
     "kernel_overhead",
+    "measure_period_point",
     "run_accuracy_sweep",
     "EvaluationReport",
     "run_complete_evaluation",

@@ -9,7 +9,8 @@ run once after changing anything load-bearing, and what
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
 
 from .accuracy import run_accuracy_sweep
 from .art_analysis import figure6, run_art_analysis, table5
@@ -41,17 +42,25 @@ def run_complete_evaluation(
     scale: float = 1.0,
     include_suites: bool = True,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
+    cache: Union[str, Path, None] = None,
+    runner_stats=None,
 ) -> EvaluationReport:
     """Regenerate Tables 3-6, Figures 4-6, and the Eq 4 study.
 
     ``progress`` (if given) receives a line per stage, for CLI feedback
-    during the multi-minute full-scale run.
+    during the multi-minute full-scale run.  ``jobs``/``cache`` fan the
+    independent pieces — the seven optimization cycles and the suite
+    kernels — through :mod:`repro.runner`; ``runner_stats`` accumulates
+    across all of them.
     """
     say = progress or (lambda message: None)
     report = EvaluationReport()
 
     say("running the seven optimization cycles (Tables 3-4)...")
-    results = run_all(scale=scale)
+    results = run_all(
+        scale=scale, jobs=jobs, cache=cache, runner_stats=runner_stats
+    )
     report.add("table3", table3(results))
     report.add("table4", table4(results))
 
@@ -64,8 +73,11 @@ def run_complete_evaluation(
 
     if include_suites:
         say("suite overheads (Figures 4-5)...")
-        report.add("figure4", run_suite_overheads("rodinia").table())
-        report.add("figure5", run_suite_overheads("spec").table())
+        for section, suite in (("figure4", "rodinia"), ("figure5", "spec")):
+            overheads = run_suite_overheads(
+                suite, jobs=jobs, cache=cache, runner_stats=runner_stats
+            )
+            report.add(section, overheads.table())
 
     say("Eq 4 accuracy sweep...")
     report.add("eq4", run_accuracy_sweep(trials=500))

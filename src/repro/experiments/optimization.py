@@ -3,11 +3,20 @@
 Tables 3 and 4 are two views of the same seven runs, so the runner
 executes each benchmark once and both table builders render from the
 shared results.
+
+The seven cycles are independent, so :func:`run_all` can fan them out
+over a ``multiprocessing`` pool (``jobs``) and memoize them in a
+content-addressed cache (``cache``) via :mod:`repro.runner`.  Each
+benchmark samples with a rank-offset seed (``base_seed + rank``, the
+same derivation ``profile_processes`` uses per rank), so results are a
+pure function of the task list: serial, parallel, and cached runs all
+agree byte for byte.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 from ..core.analyzer import OfflineAnalyzer
 from ..core.pipeline import OptimizationResult, optimize
@@ -43,21 +52,100 @@ def run_benchmark(
     *,
     scale: float = 1.0,
     analyzer: Optional[OfflineAnalyzer] = None,
+    seed: int = 0,
 ) -> OptimizationResult:
     """One benchmark through the full profile->advise->split cycle."""
     workload = TABLE2_WORKLOADS[name](scale=scale)
-    monitor = Monitor(sampling_period=workload.recommended_period)
+    monitor = Monitor(sampling_period=workload.recommended_period, seed=seed)
     return optimize(workload, monitor=monitor, analyzer=analyzer)
+
+
+def benchmark_record(result: OptimizationResult) -> Dict[str, object]:
+    """An :class:`OptimizationResult` as a JSON-encodable runner record:
+    exactly what the table builders and :func:`results_json` consume."""
+    from ..telemetry import to_jsonable
+
+    return to_jsonable(
+        {
+            "summary_row": result.summary_row(),
+            "miss_reduction_percent": result.miss_reduction,
+        }
+    )
+
+
+class BenchmarkRecord:
+    """A cached/parallel benchmark result, duck-typed for the builders.
+
+    Exposes the same ``speedup`` / ``overhead_percent`` /
+    ``miss_reduction`` / ``summary_row()`` surface as
+    :class:`OptimizationResult`, reconstructed from the runner record —
+    no live profiles or reports cross process or cache boundaries.
+    """
+
+    def __init__(self, record: Dict[str, object]) -> None:
+        self._row: Dict[str, object] = dict(record["summary_row"])
+        self._miss: Dict[str, float] = dict(record["miss_reduction_percent"])
+
+    @property
+    def workload(self) -> str:
+        return self._row["benchmark"]
+
+    @property
+    def speedup(self) -> float:
+        return self._row["speedup"]
+
+    @property
+    def overhead_percent(self) -> float:
+        return self._row["overhead_percent"]
+
+    @property
+    def miss_reduction(self) -> Dict[str, float]:
+        return dict(self._miss)
+
+    def summary_row(self) -> Dict[str, object]:
+        return dict(self._row)
 
 
 def run_all(
     *,
     scale: float = 1.0,
     names: Optional[List[str]] = None,
-) -> Dict[str, OptimizationResult]:
-    """All (or the named subset of) Table 2 benchmarks."""
+    jobs: int = 1,
+    cache: Union[str, Path, None] = None,
+    base_seed: int = 0,
+    runner_stats=None,
+) -> Dict[str, object]:
+    """All (or the named subset of) Table 2 benchmarks.
+
+    Benchmark ``rank`` samples with seed ``base_seed + rank`` in every
+    mode.  With ``jobs`` > 1 or a ``cache`` directory the cycles run
+    through :func:`repro.runner.run_tasks` and the values are
+    :class:`BenchmarkRecord`; otherwise they are full
+    :class:`OptimizationResult` objects.  Both expose the surface the
+    table builders use, and both produce identical rendered output.
+    """
     chosen = names if names is not None else list(TABLE2_WORKLOADS)
-    return {name: run_benchmark(name, scale=scale) for name in chosen}
+    if jobs <= 1 and cache is None:
+        return {
+            name: run_benchmark(name, scale=scale, seed=base_seed + rank)
+            for rank, name in enumerate(chosen)
+        }
+    from ..runner import TaskSpec, derive_seed, run_tasks
+
+    specs = [
+        TaskSpec(
+            kind="optimize",
+            name=name,
+            params={"scale": scale},
+            seed=derive_seed(base_seed, rank),
+        )
+        for rank, name in enumerate(chosen)
+    ]
+    records = run_tasks(specs, jobs=jobs, cache=cache, stats=runner_stats)
+    return {
+        name: BenchmarkRecord(record)
+        for name, record in zip(chosen, records)
+    }
 
 
 def table3(results: Dict[str, OptimizationResult]) -> Table:

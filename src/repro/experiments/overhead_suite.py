@@ -9,7 +9,8 @@ give its percentages.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
 
 from ..profiler.monitor import Monitor
 from ..workloads.suites import KernelSpec, suite_by_name
@@ -60,22 +61,51 @@ def run_suite_overheads(
     *,
     sampling_period: int = 499,
     limit: int = 0,
+    jobs: int = 1,
+    cache: Union[str, Path, None] = None,
+    base_seed: int = 0,
+    runner_stats=None,
 ) -> SuiteOverheads:
     """Monitor every kernel in ``suite`` and collect its overhead.
 
     ``limit`` > 0 monitors only the first N kernels (for quick tests).
+    Kernel ``rank`` samples with seed ``base_seed + rank`` in every
+    mode; ``jobs`` > 1 or a ``cache`` directory routes the kernels
+    through :func:`repro.runner.run_tasks` with identical results.
     """
     kernels = suite_by_name(suite)
     if limit:
         kernels = kernels[:limit]
-    rows: List[Tuple[str, float]] = []
-    for spec in kernels:
-        rows.append((spec.name, kernel_overhead(spec, sampling_period)))
+    if jobs <= 1 and cache is None:
+        rows: List[Tuple[str, float]] = [
+            (spec.name,
+             kernel_overhead(spec, sampling_period, seed=base_seed + rank))
+            for rank, spec in enumerate(kernels)
+        ]
+        return SuiteOverheads(suite=suite, rows=rows)
+    from ..runner import TaskSpec, derive_seed, run_tasks
+
+    specs = [
+        TaskSpec(
+            kind="kernel-overhead",
+            name=kernel.name,
+            params={"suite": suite, "sampling_period": sampling_period},
+            seed=derive_seed(base_seed, rank),
+        )
+        for rank, kernel in enumerate(kernels)
+    ]
+    records = run_tasks(specs, jobs=jobs, cache=cache, stats=runner_stats)
+    rows = [
+        (kernel.name, record["overhead_percent"])
+        for kernel, record in zip(kernels, records)
+    ]
     return SuiteOverheads(suite=suite, rows=rows)
 
 
-def kernel_overhead(spec: KernelSpec, sampling_period: int = 499) -> float:
+def kernel_overhead(
+    spec: KernelSpec, sampling_period: int = 499, *, seed: int = 0
+) -> float:
     """Modelled monitoring overhead (%) for one suite kernel."""
-    monitor = Monitor(sampling_period=sampling_period)
+    monitor = Monitor(sampling_period=sampling_period, seed=seed)
     run = monitor.run(spec.build(), num_threads=spec.threads)
     return run.overhead_percent

@@ -2,7 +2,7 @@
 
 from .allocation import DataObject, DataObjectRegistry
 from .collector import ProfileCollector
-from .merge import MERGED_THREAD, merge_pair, reduction_tree_merge
+from .merge import MERGED_THREAD, copy_profile, merge_pair, reduction_tree_merge
 from .monitor import Monitor, ProfiledRun
 from .multiprocess import MultiProcessRun, profile_processes
 from .online import StreamKey, StreamState
@@ -20,6 +20,7 @@ __all__ = [
     "StreamKey",
     "StreamState",
     "ThreadProfile",
+    "copy_profile",
     "merge_pair",
     "profile_processes",
     "reduction_tree_merge",

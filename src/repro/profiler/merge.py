@@ -35,9 +35,30 @@ class MergeStats:
     fan_in: int = 2
 
 
+def _merged_program(a: str, b: str) -> str:
+    """Deterministic ``program`` attribute for a merged profile.
+
+    When both inputs carry a (different) program name, the
+    lexicographically smallest one wins.  ``min`` is commutative and
+    associative, so the merged program cannot depend on profile order
+    or on the shape of the reduction tree — the same invariance the
+    rest of the merge guarantees.  Empty names never win over real
+    ones.
+    """
+    if a and b:
+        return min(a, b)
+    return a or b
+
+
 def merge_pair(a: ThreadProfile, b: ThreadProfile) -> ThreadProfile:
-    """Merge two profiles into a new whole-program profile."""
-    merged = ThreadProfile(thread=MERGED_THREAD, program=a.program or b.program)
+    """Merge two profiles into a new whole-program profile.
+
+    The merged profile's ``program`` follows :func:`_merged_program`:
+    the lexicographically smallest non-empty program name of the two.
+    """
+    merged = ThreadProfile(
+        thread=MERGED_THREAD, program=_merged_program(a.program, b.program)
+    )
     merged.total_latency = a.total_latency + b.total_latency
     merged.unattributed_latency = a.unattributed_latency + b.unattributed_latency
     merged.sample_count = a.sample_count + b.sample_count
@@ -75,6 +96,23 @@ def _copy_stream(state: StreamState) -> StreamState:
     return copy
 
 
+def copy_profile(profile: ThreadProfile) -> ThreadProfile:
+    """An independent copy of ``profile`` (streams and totals included).
+
+    The copy carries the original thread id and program — copying is
+    not a merge, so nothing is relabelled — and shares no mutable state
+    with the source.
+    """
+    copy = ThreadProfile(thread=profile.thread, program=profile.program)
+    copy.total_latency = profile.total_latency
+    copy.unattributed_latency = profile.unattributed_latency
+    copy.sample_count = profile.sample_count
+    copy.data_latency = dict(profile.data_latency)
+    for key, state in profile.streams.items():
+        copy.streams[key] = _copy_stream(state)
+    return copy
+
+
 def reduction_tree_merge(
     profiles: Sequence[ThreadProfile],
     *,
@@ -84,6 +122,11 @@ def reduction_tree_merge(
 
     Pass a :class:`MergeStats` to have the tree's depth and merge count
     recorded (the telemetry layer does; the result is unaffected).
+
+    A single profile needs no merging: the result is a faithful copy
+    (same thread id, same program) and the stats record a degenerate
+    tree — ``depth=0, pair_merges=0`` — rather than fabricating a merge
+    against an empty profile.
     """
     if not profiles:
         raise ValueError("no profiles to merge")
@@ -92,9 +135,9 @@ def reduction_tree_merge(
     level: List[ThreadProfile] = list(profiles)
     if len(level) == 1:
         if stats is not None:
-            stats.depth = 1
-            stats.pair_merges = 1
-        return merge_pair(level[0], ThreadProfile(thread=MERGED_THREAD))
+            stats.depth = 0
+            stats.pair_merges = 0
+        return copy_profile(level[0])
     while len(level) > 1:
         next_level: List[ThreadProfile] = []
         for i in range(0, len(level) - 1, 2):

@@ -14,7 +14,7 @@ threads first, then across ranks with the same reduction tree.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Callable, Dict, List, Optional
 
 from ..memsim.hierarchy import HierarchyConfig
@@ -43,20 +43,20 @@ class MultiProcessRun:
 
     def aggregate_metrics(self) -> RunMetrics:
         """Sum of per-rank metrics (cycles add: ranks run concurrently,
-        so wall time divides by rank count, like threads)."""
+        so wall time divides by rank count, like threads).
+
+        Every numeric field of :class:`RunMetrics` is summed
+        generically, so counters added to the dataclass later (TLB,
+        prefetch, coherence, ...) can never be silently dropped here.
+        """
         total = RunMetrics(name=self.workload, variant="original")
-        for run in self.ranks:
-            m = run.metrics
-            total.accesses += m.accesses
-            total.compute_cycles += m.compute_cycles
-            total.total_latency += m.total_latency
-            total.stall_cycles += m.stall_cycles
-            total.cycles += m.cycles
-            total.l1_misses += m.l1_misses
-            total.l2_misses += m.l2_misses
-            total.l3_misses += m.l3_misses
-            total.dram_accesses += m.dram_accesses
-        total.num_threads = sum(r.metrics.num_threads for r in self.ranks)
+        for spec in fields(RunMetrics):
+            values = [getattr(run.metrics, spec.name) for run in self.ranks]
+            if values and all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in values
+            ):
+                setattr(total, spec.name, sum(values))
         return total
 
     def overhead_percent(self) -> float:

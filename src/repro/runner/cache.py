@@ -1,0 +1,82 @@
+"""On-disk content-addressed result cache for experiment tasks.
+
+Each task's key is the SHA-256 of its canonical JSON description —
+task kind, workload/kernel name, config parameters (scale, periods,
+suite, ...), and seed — plus the package version, so any change to what
+a task *means* changes its address and old entries simply stop
+matching.  Entries are one pretty-printed JSON file per key, holding
+the spec (for debuggability) and the record.
+
+Records are JSON-encodable by construction (see
+:func:`repro.runner.tasks.execute_task`), so a warm hit returns exactly
+the value a fresh execution would have returned: same structure, same
+floats (JSON round-trips IEEE doubles losslessly), and therefore
+byte-identical downstream output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from .tasks import TaskSpec
+
+
+class ResultCache:
+    """Directory of content-addressed task results."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, spec: TaskSpec) -> str:
+        """Content address of ``spec``: hash of its description + version."""
+        from .. import __version__
+        from ..telemetry import to_jsonable
+
+        material = json.dumps(
+            {"spec": to_jsonable(spec.describe()), "version": __version__},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def path(self, spec: TaskSpec) -> Path:
+        return self.directory / f"{self.key(spec)}.json"
+
+    def get(self, spec: TaskSpec) -> Optional[object]:
+        """The cached record for ``spec``, or None (counted as a miss)."""
+        path = self.path(spec)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["record"]
+
+    def put(self, spec: TaskSpec, record: object) -> Path:
+        """Store ``record`` under ``spec``'s content address."""
+        from ..telemetry import to_jsonable
+
+        path = self.path(spec)
+        payload = {
+            "key": self.key(spec),
+            "spec": to_jsonable(spec.describe()),
+            "record": record,
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        return path
+
+
+def as_cache(
+    cache: Union[ResultCache, str, Path, None]
+) -> Optional[ResultCache]:
+    """Coerce a cache argument (directory path or instance) to a cache."""
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)

@@ -36,6 +36,7 @@ from .metrics import (
     MetricsRegistry,
     NullRegistry,
 )
+from .merge import SessionPayload, absorb_payload, capture_session
 from .overhead import COMPONENTS, SelfOverheadAccount
 from .session import (
     TelemetrySession,
@@ -62,10 +63,13 @@ __all__ = [
     "NullRegistry",
     "NullTracer",
     "SelfOverheadAccount",
+    "SessionPayload",
     "Span",
     "TelemetrySession",
     "Tracer",
+    "absorb_payload",
     "active",
+    "capture_session",
     "chrome_trace",
     "enabled",
     "jsonl",

@@ -1,0 +1,84 @@
+"""Merging telemetry across processes: capture in a worker, absorb here.
+
+The parallel experiment runner (:mod:`repro.runner`) executes tasks in
+worker processes.  Each worker runs under its own private telemetry
+session; when it finishes, the session is *captured* into a picklable
+:class:`SessionPayload` and shipped back with the task's result.  The
+parent then *absorbs* each payload — in deterministic task order — into
+its own active session, so the exported trace, metrics, and overhead
+accounts of a parallel run are indistinguishable from a serial run of
+the same tasks.
+
+Merge semantics per instrument kind:
+
+- counters add (totals are totals no matter which process counted);
+- gauges take the absorbed value (last write wins, and payloads are
+  absorbed in task order, matching what serial execution would leave);
+- histograms add bucket counts, sums, and counts (bucket edges must
+  match — same-name histograms come from the same instrumentation
+  site, so a mismatch is a programming error and raises).
+
+Spans are grafted as additional roots of the parent tracer; the Chrome
+trace exporter already rebases timestamps to the earliest span, so
+cross-process clock offsets cannot produce negative times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .metrics import Counter, Gauge, Histogram, Instrument, MetricsRegistry
+from .overhead import SelfOverheadAccount
+from .session import TelemetrySession
+from .spans import Span
+
+
+@dataclass
+class SessionPayload:
+    """Everything one worker's telemetry session recorded, picklable."""
+
+    spans: List[Span] = field(default_factory=list)
+    instruments: List[Instrument] = field(default_factory=list)
+    overhead_accounts: List[SelfOverheadAccount] = field(default_factory=list)
+
+
+def capture_session(session: TelemetrySession) -> SessionPayload:
+    """Snapshot ``session`` into a payload a worker can return."""
+    return SessionPayload(
+        spans=list(session.tracer.roots),
+        instruments=session.metrics.instruments(),
+        overhead_accounts=list(session.overhead_accounts),
+    )
+
+
+def absorb_payload(session: TelemetrySession, payload: SessionPayload) -> None:
+    """Fold a captured worker payload into ``session``."""
+    session.tracer.roots.extend(payload.spans)
+    for instrument in payload.instruments:
+        _absorb_instrument(session.metrics, instrument)
+    # The worker's registry already holds each account's exported
+    # metrics (absorbed just above), so append without re-exporting.
+    session.overhead_accounts.extend(payload.overhead_accounts)
+
+
+def _absorb_instrument(registry: MetricsRegistry, source: Instrument) -> None:
+    labels = dict(source.labels)
+    if isinstance(source, Counter):
+        registry.counter(source.name, help=source.help, **labels).inc(
+            source.value
+        )
+    elif isinstance(source, Gauge):
+        registry.gauge(source.name, help=source.help, **labels).set(
+            source.value
+        )
+    elif isinstance(source, Histogram):
+        target = registry.histogram(
+            source.name, source.buckets, help=source.help, **labels
+        )
+        for i, count in enumerate(source.counts):
+            target.counts[i] += count
+        target.sum += source.sum
+        target.count += source.count
+    else:  # pragma: no cover - no other instrument kinds exist
+        raise TypeError(f"cannot absorb instrument kind {source.kind!r}")

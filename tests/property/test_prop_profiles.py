@@ -54,6 +54,39 @@ class TestMergeProperties:
             # were folded; both must divide each other -> equal.
             assert tree.streams[key].stride == fold.streams[key].stride
 
+    @given(st.lists(profiles(), min_size=1, max_size=9), st.data())
+    def test_tree_merge_invariant_to_profile_order(self, many, data):
+        """Any permutation of the leaves merges to the same profile.
+
+        List sizes 1..9 cover odd and even leaf counts (including the
+        odd-leaf carry path and the single-profile copy path), and the
+        ``profiles()`` strategy generates zero-sample profiles too.
+        """
+        permutation = data.draw(st.permutations(range(len(many))))
+        shuffled = [many[i] for i in permutation]
+        a = reduction_tree_merge(many)
+        b = reduction_tree_merge(shuffled)
+        assert a.sample_count == b.sample_count
+        assert a.total_latency == b.total_latency
+        assert set(a.streams) == set(b.streams)
+        for key in a.streams:
+            assert a.streams[key].stride == b.streams[key].stride
+            assert a.streams[key].unique_addresses == \
+                b.streams[key].unique_addresses
+            assert a.streams[key].min_address == b.streams[key].min_address
+
+    @given(st.lists(profiles(), min_size=1, max_size=6))
+    def test_zero_sample_profiles_are_neutral(self, many):
+        """Merging in an empty profile changes nothing but bookkeeping."""
+        padded = many + [ThreadProfile(thread=99)]
+        with_empty = reduction_tree_merge(padded)
+        without = reduction_tree_merge(many)
+        assert with_empty.sample_count == without.sample_count
+        assert with_empty.total_latency == without.total_latency
+        assert set(with_empty.streams) == set(without.streams)
+        for key in with_empty.streams:
+            assert with_empty.streams[key].stride == without.streams[key].stride
+
     @given(profiles())
     def test_merged_stride_divides_each_input_stride(self, a):
         b = ThreadProfile(thread=9)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.binary import LoopMap
 from repro.profiler import (
+    MERGED_THREAD,
     DataObjectRegistry,
     Monitor,
     ProfileCollector,
@@ -11,6 +12,7 @@ from repro.profiler import (
     merge_pair,
     reduction_tree_merge,
 )
+from repro.profiler.merge import MergeStats
 from repro.sampling import AddressSample
 
 from ..conftest import build_figure1
@@ -107,6 +109,46 @@ class TestMerge:
     def test_single_profile_merge(self):
         merged = reduction_tree_merge([self._profile(0, [0, 64])])
         assert merged.sample_count == 2
+
+    def test_single_profile_merge_is_faithful_copy(self):
+        original = self._profile(3, [0, 64])
+        original.program = "figure1"
+        stats = MergeStats()
+        merged = reduction_tree_merge([original], stats=stats)
+        # Not a merge: thread id and program survive untouched, and the
+        # stats record a degenerate tree rather than a fabricated merge
+        # against an empty profile.
+        assert merged.thread == 3
+        assert merged.program == "figure1"
+        assert (stats.leaves, stats.depth, stats.pair_merges) == (1, 0, 0)
+        assert merged.sample_count == original.sample_count
+        assert merged.total_latency == original.total_latency
+        assert merged.data_latency == original.data_latency
+
+    def test_single_profile_merge_copy_is_independent(self):
+        original = self._profile(0, [0, 64])
+        merged = reduction_tree_merge([original])
+        key = (1, 0, ("heap", "A"))
+        merged.streams[key].update(8192, 1.0)
+        merged.add_data_latency(("heap", "A"), 5.0)
+        assert original.streams[key].sample_count == 2
+        assert original.data_latency[("heap", "A")] == 2.0
+
+    def test_real_merge_relabels_thread(self):
+        merged = merge_pair(self._profile(0, [0]), self._profile(1, [64]))
+        assert merged.thread == MERGED_THREAD
+
+    def test_merge_pair_program_takes_lexicographic_min(self):
+        a, b = self._profile(0, [0]), self._profile(1, [64])
+        a.program, b.program = "zeta", "alpha"
+        assert merge_pair(a, b).program == "alpha"
+        assert merge_pair(b, a).program == "alpha"
+
+    def test_merge_pair_program_empty_never_wins(self):
+        a, b = self._profile(0, [0]), self._profile(1, [64])
+        a.program, b.program = "", "beta"
+        assert merge_pair(a, b).program == "beta"
+        assert merge_pair(b, a).program == "beta"
 
     def test_empty_merge_rejected(self):
         with pytest.raises(ValueError):

@@ -124,3 +124,39 @@ class TestMultiProcess:
     def test_invalid_process_count(self):
         with pytest.raises(ValueError):
             profile_processes(lambda rank: build_figure1(n=64), 0)
+
+    def test_aggregate_metrics_sums_every_numeric_field(self):
+        """No RunMetrics counter may be silently dropped by aggregation.
+
+        The summation is checked generically over ``dataclasses.fields``
+        with every numeric field set non-zero, so adding a counter to
+        RunMetrics without aggregating it fails here immediately (the
+        old hand-enumerated version dropped ``invalidations``).
+        """
+        from dataclasses import fields
+        from types import SimpleNamespace
+
+        from repro.memsim.stats import RunMetrics
+        from repro.profiler.multiprocess import MultiProcessRun
+
+        def metrics(offset):
+            m = RunMetrics(name="w", variant="original")
+            for i, spec in enumerate(fields(RunMetrics)):
+                value = getattr(m, spec.name)
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                setattr(m, spec.name, type(value)(offset + i + 1))
+            return m
+
+        ranks = [SimpleNamespace(metrics=metrics(10)),
+                 SimpleNamespace(metrics=metrics(100))]
+        run = MultiProcessRun(workload="w", ranks=ranks,
+                              merged=ThreadProfile(thread=-1))
+        total = run.aggregate_metrics()
+        for spec in fields(RunMetrics):
+            value = getattr(ranks[0].metrics, spec.name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            expected = sum(getattr(r.metrics, spec.name) for r in ranks)
+            assert getattr(total, spec.name) == expected, spec.name
+        assert total.invalidations > 0  # the field the old code dropped
