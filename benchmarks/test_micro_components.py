@@ -12,13 +12,21 @@ from repro.binary import LoopMap, find_loops, lower_function
 from repro.core import gcd_stride
 from repro.memsim import HierarchyConfig, MemoryHierarchy, simulate
 from repro.profiler import StreamState
-from repro.program import Interpreter, MemoryAccess
+from repro.program import AccessBatch, Interpreter, MemoryAccess
 from repro.sampling import PEBSLoadLatencySampler
 from repro.workloads import ArtWorkload
+
+from .conftest import BENCH_ENGINE
 
 rng = random.Random(99)
 
 ADDRESSES = [rng.randrange(0, 1 << 24) & ~7 for _ in range(20_000)]
+
+
+def _trace(bound):
+    """The selected engine's trace for ``bound`` (see REPRO_BENCH_ENGINE)."""
+    interp = Interpreter(bound)
+    return interp.run_batched() if BENCH_ENGINE == "batched" else interp.run()
 
 
 def test_cache_hierarchy_throughput(benchmark):
@@ -33,14 +41,26 @@ def test_cache_hierarchy_throughput(benchmark):
     assert misses > 0
 
 
+def test_cache_hierarchy_batch_throughput(benchmark):
+    sizes = [8] * len(ADDRESSES)
+
+    def run():
+        hier = MemoryHierarchy(HierarchyConfig(), num_cores=1)
+        hier.access_batch(ADDRESSES, sizes)
+        return hier.l1_misses()
+
+    misses = benchmark(run)
+    assert misses > 0
+
+
 def test_interpreter_trace_generation(benchmark):
     workload = ArtWorkload(scale=0.05)
     bound = workload.build_original()
 
     def run():
         count = 0
-        for _ in Interpreter(bound).run():
-            count += 1
+        for item in _trace(bound):
+            count += len(item) if isinstance(item, AccessBatch) else 1
         return count
 
     count = benchmark(run)
@@ -56,6 +76,27 @@ def test_sampler_observe_throughput(benchmark):
         observe = sampler.observe
         for access in accesses:
             observe(access, 42.0)
+        return sampler.sample_count
+
+    count = benchmark(run)
+    assert count > 0
+
+
+def test_sampler_observe_batch_throughput(benchmark):
+    bound = ArtWorkload(scale=0.05).build_original()
+    hier = MemoryHierarchy(HierarchyConfig(), num_cores=1)
+    pairs = [
+        (item, hier.access_batch(item.address, item.size))
+        for item in Interpreter(bound).run_batched()
+        if isinstance(item, AccessBatch)
+    ]
+    assert pairs, "ART's hot loops should batch"
+
+    def run():
+        sampler = PEBSLoadLatencySampler(period=1000, seed=0)
+        observe_batch = sampler.observe_batch
+        for batch, latencies in pairs:
+            observe_batch(batch, latencies)
         return sampler.sample_count
 
     count = benchmark(run)
@@ -100,7 +141,7 @@ def test_end_to_end_simulation_rate(benchmark):
     bound = workload.build_original()
 
     def run():
-        return simulate(Interpreter(bound).run(),
+        return simulate(_trace(bound),
                         config=HierarchyConfig(), name="art").accesses
 
     accesses = benchmark.pedantic(run, rounds=3, iterations=1)

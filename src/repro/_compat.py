@@ -1,0 +1,28 @@
+"""Version-guarded helpers for the Python 3.9 support floor.
+
+``dataclass(slots=True)`` landed in 3.10; hot per-sample classes want
+slots (no per-instance ``__dict__``, faster attribute access) without
+dropping the 3.9 floor declared in pyproject. :func:`slotted_dataclass`
+passes ``slots=True`` where available and degrades to a plain dataclass
+on 3.9 — same API, just without the memory savings there.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+
+#: True when ``dataclass(slots=True)`` is available (Python >= 3.10).
+DATACLASS_SLOTS = sys.version_info >= (3, 10)
+
+
+def slotted_dataclass(**kwargs):
+    """``@dataclass(slots=True, **kwargs)``, minus ``slots`` on 3.9.
+
+    Use for mutable hot-path classes updated once per sample or access;
+    frozen/NamedTuple records don't need it (NamedTuples never carry a
+    ``__dict__``).
+    """
+    if DATACLASS_SLOTS:
+        kwargs.setdefault("slots", True)
+    return dataclass(**kwargs)

@@ -14,6 +14,13 @@ paper's artifacts:
     python -m repro accuracy                  # Eq 4 sweep
     python -m repro trace art                 # telemetry: Perfetto trace
     python -m repro stats [workload]          # telemetry: metrics snapshot
+    python -m repro bench [--quick]           # scalar vs batched engine bench
+
+``analyze``, ``optimize``, and ``table3`` accept ``--engine
+{scalar,batched}`` (default batched: the columnar fast path, byte-
+identical results — see docs/performance.md); ``bench`` times both
+engines and writes a ``BENCH_<stamp>.json`` snapshot, with ``--check
+BASELINE`` as the CI perf-smoke regression gate.
 
 ``analyze``, ``optimize``, and ``table3`` additionally accept
 ``--telemetry DIR`` (export spans/metrics for the run) and — for
@@ -53,6 +60,15 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
                              "instantly with identical output")
 
 
+def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
+    """``--engine``: trace execution mode (results identical either way)."""
+    parser.add_argument("--engine", choices=["scalar", "batched"],
+                        default="batched",
+                        help="trace execution engine: 'batched' (columnar "
+                             "fast path, default) or 'scalar' (reference "
+                             "path); output is byte-identical")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -76,6 +92,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "graphs, plans.json, structure.xml) here")
         p.add_argument("--telemetry", metavar="DIR", default=None,
                        help="record spans/metrics and export them to DIR")
+        _add_engine_arg(p)
         if name == "optimize":
             _add_runner_args(p)
         if name == "analyze":
@@ -103,7 +120,26 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="record spans/metrics and export them to DIR")
     p.add_argument("--json", action="store_true",
                    help="print machine-readable JSON instead of the tables")
+    _add_engine_arg(p)
     _add_runner_args(p)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark the scalar vs batched engines and write "
+             "BENCH_<stamp>.json (per-layer accesses/sec, end-to-end "
+             "wall time, speedup)",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="smaller trace, fewer repeats (CI perf-smoke)")
+    p.add_argument("--out", type=str, default=None,
+                   help="output path (default: BENCH_<stamp>.json in cwd)")
+    p.add_argument("--check", metavar="BASELINE", default=None,
+                   help="compare against a baseline BENCH json; exit 1 if "
+                        "batched end-to-end throughput regressed beyond "
+                        "--tolerance")
+    p.add_argument("--tolerance", type=float, default=0.25,
+                   help="allowed fractional throughput regression for "
+                        "--check (default: 0.25)")
 
     p = sub.add_parser(
         "trace",
@@ -166,7 +202,8 @@ def _build_parser() -> argparse.ArgumentParser:
 def _monitored_run(args):
     workload = TABLE2_WORKLOADS[args.workload](scale=args.scale)
     period = args.period or workload.recommended_period
-    monitor = Monitor(sampling_period=period)
+    monitor = Monitor(sampling_period=period,
+                      engine=getattr(args, "engine", "batched"))
     bound = workload.build_original()
     run = monitor.run(bound, num_threads=workload.num_threads)
     return workload, monitor, run, bound
@@ -397,7 +434,8 @@ def _cmd_optimize_via_runner(args, out) -> int:
     spec = TaskSpec(
         kind="optimize-report",
         name=args.workload,
-        params={"scale": args.scale, "period": args.period},
+        params={"scale": args.scale, "period": args.period,
+                "engine": getattr(args, "engine", "batched")},
     )
     with _telemetry_scope(args, out):
         (record,) = run_tasks([spec], jobs=args.jobs, cache=args.cache,
@@ -437,7 +475,8 @@ def _cmd_table3(args, out) -> int:
     stats = _runner_stats(args)
     with _telemetry_scope(args, out):
         results = run_all(scale=args.scale, jobs=args.jobs,
-                          cache=args.cache, runner_stats=stats)
+                          cache=args.cache, runner_stats=stats,
+                          engine=getattr(args, "engine", "batched"))
     _print_runner_stats(stats)
     if getattr(args, "json", False):
         _print_json(results_json(results), out)
@@ -445,6 +484,28 @@ def _cmd_table3(args, out) -> int:
     print(table3(results).render(), file=out)
     print(file=out)
     print(table4(results).render(), file=out)
+    return 0
+
+
+def _cmd_bench(args, out) -> int:
+    from .experiments.bench import run_bench, check_regression, write_bench
+
+    result = run_bench(quick=args.quick,
+                       progress=lambda m: print(m, file=sys.stderr))
+    path = write_bench(result, args.out)
+    print(f"wrote {path}", file=out)
+    summary = result["end_to_end"]
+    print(
+        f"end-to-end: scalar {summary['scalar']['accesses_per_sec']:,.0f} acc/s, "
+        f"batched {summary['batched']['accesses_per_sec']:,.0f} acc/s, "
+        f"speedup {summary['speedup']:.2f}x",
+        file=out,
+    )
+    if args.check:
+        ok, message = check_regression(result, args.check, args.tolerance)
+        print(message, file=out)
+        if not ok:
+            return 1
     return 0
 
 
@@ -582,6 +643,7 @@ _COMMANDS = {
     "optimize": _cmd_optimize,
     "regroup": _cmd_regroup,
     "table3": _cmd_table3,
+    "bench": _cmd_bench,
     "trace": _cmd_trace,
     "stats": _cmd_stats,
     "art": _cmd_art,

@@ -53,10 +53,13 @@ def run_benchmark(
     scale: float = 1.0,
     analyzer: Optional[OfflineAnalyzer] = None,
     seed: int = 0,
+    engine: str = "batched",
 ) -> OptimizationResult:
     """One benchmark through the full profile->advise->split cycle."""
     workload = TABLE2_WORKLOADS[name](scale=scale)
-    monitor = Monitor(sampling_period=workload.recommended_period, seed=seed)
+    monitor = Monitor(
+        sampling_period=workload.recommended_period, seed=seed, engine=engine
+    )
     return optimize(workload, monitor=monitor, analyzer=analyzer)
 
 
@@ -114,6 +117,7 @@ def run_all(
     cache: Union[str, Path, None] = None,
     base_seed: int = 0,
     runner_stats=None,
+    engine: str = "batched",
 ) -> Dict[str, object]:
     """All (or the named subset of) Table 2 benchmarks.
 
@@ -123,11 +127,16 @@ def run_all(
     :class:`BenchmarkRecord`; otherwise they are full
     :class:`OptimizationResult` objects.  Both expose the surface the
     table builders use, and both produce identical rendered output.
+    ``engine`` picks the trace execution mode (scalar/batched); the
+    results are identical either way, so it is part of each task's
+    cache key only to keep keys honest about how a record was produced.
     """
     chosen = names if names is not None else list(TABLE2_WORKLOADS)
     if jobs <= 1 and cache is None:
         return {
-            name: run_benchmark(name, scale=scale, seed=base_seed + rank)
+            name: run_benchmark(
+                name, scale=scale, seed=base_seed + rank, engine=engine
+            )
             for rank, name in enumerate(chosen)
         }
     from ..runner import TaskSpec, derive_seed, run_tasks
@@ -136,7 +145,7 @@ def run_all(
         TaskSpec(
             kind="optimize",
             name=name,
-            params={"scale": scale},
+            params={"scale": scale, "engine": engine},
             seed=derive_seed(base_seed, rank),
         )
         for rank, name in enumerate(chosen)

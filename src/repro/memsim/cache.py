@@ -27,6 +27,21 @@ REPLACEMENT_POLICIES = ("lru", "fifo", "random")
 class SetAssociativeCache:
     """One cache level. Sizes are in bytes; lines are 64B by default."""
 
+    __slots__ = (
+        "policy",
+        "_rng",
+        "name",
+        "size_bytes",
+        "ways",
+        "line_size",
+        "num_sets",
+        "_set_mask",
+        "_sets",
+        "hits",
+        "misses",
+        "evictions",
+    )
+
     def __init__(
         self,
         name: str,

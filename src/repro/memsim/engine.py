@@ -9,9 +9,11 @@ the hierarchy assigned to it, exactly the pairing PEBS-LL exposes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
+from .._compat import slotted_dataclass
+
+from ..program.batch import AccessBatch
 from ..program.trace import ComputeBurst, MemoryAccess, TraceItem
 from .hierarchy import HierarchyConfig, MemoryHierarchy
 from .stats import RunMetrics
@@ -20,7 +22,7 @@ from .stats import RunMetrics
 Observer = Callable[[MemoryAccess, float], None]
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class CostModel:
     """Translates simulated events to cycles.
 
@@ -54,6 +56,14 @@ def simulate(
 
     Threads are mapped to cores modulo ``num_cores``; pass a prebuilt
     ``hierarchy`` to share cache state across traces (not usual).
+
+    The trace may mix scalar items with :class:`AccessBatch` columns
+    (from ``Interpreter.run_batched``). When the hierarchy supports the
+    columnar path a batch is simulated in one call and the observer's
+    ``observe_batch`` hook (if its owner defines one) sees the whole
+    column; otherwise the batch is expanded and handled per access.
+    Either way the metrics are bitwise identical to the scalar trace's:
+    latencies accumulate one at a time in trace order.
     """
     hier = hierarchy or MemoryHierarchy(config or HierarchyConfig(), num_cores)
     cost = cost or CostModel()
@@ -67,6 +77,17 @@ def simulate(
     max_thread = 0
 
     hier_access = hier.access  # local binding for the hot loop
+    hier_batch = hier.access_batch if hier.supports_batch else None
+    # A plain CostModel's stall() can be inlined per latency; a subclass
+    # with its own arithmetic is called per latency instead.
+    inline_stall = type(cost) is CostModel
+    mlp = cost.mlp
+    observe_batch = None
+    if observer is not None:
+        owner = getattr(observer, "__self__", None)
+        if owner is not None:
+            observe_batch = getattr(owner, "observe_batch", None)
+
     for item in trace:
         if isinstance(item, MemoryAccess):
             latency = hier_access(
@@ -81,6 +102,43 @@ def simulate(
                 observer(item, latency)
         elif isinstance(item, ComputeBurst):
             compute += item.cycles
+        elif isinstance(item, AccessBatch):
+            if hier_batch is None:
+                # Configuration needs the full per-access model: expand.
+                for access in item:
+                    latency = hier_access(
+                        access.thread % mod_cores,
+                        access.address,
+                        access.size,
+                        access.is_write,
+                    )
+                    accesses += 1
+                    total_latency += latency
+                    stalls += cost.stall(latency, l1_latency)
+                    if access.thread > max_thread:
+                        max_thread = access.thread
+                    if observer is not None:
+                        observer(access, latency)
+                continue
+            latencies = hier_batch(item.address, item.size)
+            accesses += item.length
+            if item.max_thread > max_thread:
+                max_thread = item.max_thread
+            if inline_stall:
+                for latency in latencies:
+                    total_latency += latency
+                    extra = latency - l1_latency
+                    if extra > 0:
+                        stalls += extra / mlp
+            else:
+                for latency in latencies:
+                    total_latency += latency
+                    stalls += cost.stall(latency, l1_latency)
+            if observe_batch is not None:
+                observe_batch(item, latencies)
+            elif observer is not None:
+                for access, latency in zip(item, latencies):
+                    observer(access, latency)
         else:
             raise TypeError(f"unexpected trace item {type(item).__name__}")
 

@@ -78,19 +78,29 @@ class Monitor:
         overhead_model: Optional[OverheadModel] = None,
         cost_model: Optional[CostModel] = None,
         seed: int = 0,
+        engine: str = "batched",
     ) -> None:
         """``sampling_period`` is the period the *analysis* samples at;
         simulated traces are far shorter than real executions, so it is
         usually much smaller than the paper's 10,000 to keep the
         samples-per-stream count comparable. ``deployment_period`` is
         the period overhead is *priced* at (the paper's 10,000); pass
-        None to price at the analysis period instead."""
+        None to price at the analysis period instead. ``engine``
+        selects the trace execution mode: ``"batched"`` (default) runs
+        the columnar fast path, ``"scalar"`` the one-object-per-access
+        reference path; results are identical by construction."""
+        if engine not in ("scalar", "batched"):
+            raise ValueError(f"unknown engine {engine!r}")
         self.sampling_period = sampling_period
         self.deployment_period = deployment_period
         self.sampler_cls = sampler_cls
         self.overhead_model = overhead_model or OverheadModel()
         self.cost_model = cost_model or CostModel()
         self.seed = seed
+        self.engine = engine
+
+    def _trace(self, interp: Interpreter):
+        return interp.run_batched() if self.engine == "batched" else interp.run()
 
     def make_sampler(self) -> SamplingEngine:
         return self.sampler_cls(self.sampling_period, seed=self.seed)
@@ -117,6 +127,7 @@ class Monitor:
             threads=num_threads,
             sampling_period=self.sampling_period,
             pmu=pmu,
+            engine=self.engine,
         ) as run_span:
             # Program-begin callback work: structure recovery and the
             # allocation registry (symbol table + interposed malloc).
@@ -129,7 +140,7 @@ class Monitor:
 
             with tracer.span("simulate", workload=bound.name) as span:
                 metrics = simulate(
-                    interp.run(),
+                    self._trace(interp),
                     hierarchy=hierarchy,
                     cost=self.cost_model,
                     observer=sampler.observe,
@@ -264,7 +275,7 @@ class Monitor:
         ) as span:
             interp = Interpreter(bound, num_threads=num_threads)
             metrics = simulate(
-                interp.run(),
+                self._trace(interp),
                 hierarchy=hierarchy,
                 cost=self.cost_model,
                 name=bound.name,

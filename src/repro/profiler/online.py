@@ -13,16 +13,23 @@ profiler lightweight.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import field
 from typing import Dict, Optional, Set, Tuple
+
+from .._compat import slotted_dataclass
 
 #: A stream's identity: instruction pointer, calling context, data object.
 StreamKey = Tuple[int, int, Tuple[str, ...]]
 
 
-@dataclass
+@slotted_dataclass()
 class StreamState:
-    """Mutable online state for one stream."""
+    """Mutable online state for one stream.
+
+    Updated once per retained sample, so it is slotted (on 3.10+) via
+    :func:`repro._compat.slotted_dataclass` to skip the per-instance
+    ``__dict__``.
+    """
 
     key: StreamKey
     line: int = 0

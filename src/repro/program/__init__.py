@@ -1,9 +1,10 @@
 """Workload IR, builder, and interpreter — the 'binary execution' substrate."""
 
+from .batch import AccessBatch
 from .builder import BoundProgram, LayoutBinding, WorkloadBuilder
 from .context import ROOT_CONTEXT, ContextTable
 from .dsl import DslError, parse_workload
-from .interp import Interpreter, TraceError, run, trace_stats
+from .interp import Interpreter, TraceError, run, run_batched, trace_stats
 from .ir import (
     IP_STRIDE,
     TEXT_BASE,
@@ -32,6 +33,7 @@ from .trace import (
 
 __all__ = [
     "Access",
+    "AccessBatch",
     "Affine",
     "BoundProgram",
     "Call",
@@ -62,5 +64,6 @@ __all__ = [
     "memory_accesses",
     "parse_workload",
     "run",
+    "run_batched",
     "trace_stats",
 ]

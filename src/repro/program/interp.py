@@ -15,6 +15,13 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from .batch import (
+    MIN_BATCH_TRIPS,
+    AccessBatch,
+    address_column,
+    assemble_batches,
+    referenced_vars,
+)
 from .builder import BoundProgram
 from .context import ROOT_CONTEXT, ContextTable
 from .ir import Access, Call, Compute, Loop, Program, Stmt
@@ -28,6 +35,10 @@ MAX_ACCESS_BYTES = 8
 
 class TraceError(RuntimeError):
     """An IR access went out of bounds or referenced a missing binding."""
+
+
+#: Distinct (loop, thread, context, env) batch shapes remembered per run.
+_BATCH_CACHE_CAP = 256
 
 
 class _ResolvedAccess:
@@ -72,6 +83,7 @@ class Interpreter:
         self.num_threads = num_threads
         self.contexts = context_table if context_table is not None else ContextTable()
         self._resolved: Dict[int, _ResolvedAccess] = {}
+        self._batch_cache: Dict[tuple, list] = {}
 
     # -- public -------------------------------------------------------------
 
@@ -79,6 +91,19 @@ class Interpreter:
         """Yield the full interleaved trace of the program."""
         entry = self.program.functions[self.program.entry]
         yield from self._exec_body(entry.body, {}, 0, ROOT_CONTEXT)
+
+    def run_batched(self) -> Iterator[TraceItem]:
+        """Yield the trace with innermost pure-``Access`` loops batched.
+
+        The item stream mixes :class:`AccessBatch` objects (for loops
+        whose address progressions are affine in the trip count) with
+        the scalar items of :meth:`run`; expanding every batch in place
+        reproduces :meth:`run`'s sequence exactly, including the point
+        at which an out-of-bounds access raises. Consumers that cannot
+        handle batches can iterate each batch for the scalar view.
+        """
+        entry = self.program.functions[self.program.entry]
+        yield from self._exec_body_batched(entry.body, {}, 0, ROOT_CONTEXT)
 
     # -- execution ----------------------------------------------------------
 
@@ -150,6 +175,188 @@ class Interpreter:
                     envs[t][var] = chunk[k]
                     yield from self._exec_body(loop.body, envs[t], t, context)
 
+    # -- batched execution ---------------------------------------------------
+
+    def _exec_body_batched(
+        self,
+        body: List[Stmt],
+        env: Dict[str, int],
+        thread: int,
+        context: int,
+    ) -> Iterator[TraceItem]:
+        """Like :meth:`_exec_body`, but loops may emit AccessBatch items."""
+        for stmt in body:
+            if isinstance(stmt, Access):
+                res = self._resolve(stmt)
+                idx = stmt.index.evaluate(env)
+                yield MemoryAccess(
+                    thread,
+                    stmt.ip,
+                    res.address(idx),
+                    res.size,
+                    stmt.is_write,
+                    stmt.line,
+                    context,
+                )
+            elif isinstance(stmt, Compute):
+                yield ComputeBurst(thread, stmt.cycles)
+            elif isinstance(stmt, Loop):
+                if stmt.parallel and self.num_threads > 1:
+                    yield from self._exec_parallel_loop_batched(stmt, env, context)
+                else:
+                    yield from self._exec_serial_loop_batched(
+                        stmt, env, thread, context
+                    )
+            elif isinstance(stmt, Call):
+                callee = self.program.functions.get(stmt.callee)
+                if callee is None:
+                    raise TraceError(f"call to undefined function {stmt.callee!r}")
+                child = self.contexts.extend(context, stmt.ip)
+                yield from self._exec_body_batched(
+                    callee.body, dict(env), thread, child
+                )
+            else:
+                raise TraceError(f"unknown statement type {type(stmt).__name__}")
+
+    def _exec_serial_loop_batched(
+        self, loop: Loop, env: Dict[str, int], thread: int, context: int
+    ) -> Iterator[TraceItem]:
+        if loop.trip_count >= MIN_BATCH_TRIPS and _pure_access_body(loop.body):
+            batches = self._serial_batches(loop, env, thread, context)
+            if batches is not None:
+                yield from batches
+                return
+        # Fallback: scalar trips, but nested loops may still batch.
+        var = loop.var
+        inner = dict(env)
+        for value in range(loop.start, loop.stop, loop.step):
+            inner[var] = value
+            yield from self._exec_body_batched(loop.body, inner, thread, context)
+
+    def _exec_parallel_loop_batched(
+        self, loop: Loop, env: Dict[str, int], context: int
+    ) -> Iterator[TraceItem]:
+        """Batch the lock-step rounds of a static-schedule parallel loop.
+
+        The first ``minlen`` rounds (where every thread still has work)
+        interleave into one batch stream; the straggler iterations of
+        longer chunks — at most ``num_threads - 1`` of them — replay
+        scalar, in the same order :meth:`_exec_parallel_loop` uses.
+        """
+        iterations = range(loop.start, loop.stop, loop.step)
+        chunks = _static_chunks(iterations, self.num_threads)
+        minlen = min((len(c) for c in chunks), default=0)
+        batches = None
+        if minlen >= MIN_BATCH_TRIPS and _pure_access_body(loop.body):
+            batches = self._parallel_batches(loop, env, chunks, minlen, context)
+        start_k = 0
+        if batches is not None:
+            yield from batches
+            start_k = minlen
+        envs = [dict(env) for _ in range(self.num_threads)]
+        var = loop.var
+        longest = max((len(c) for c in chunks), default=0)
+        for k in range(start_k, longest):
+            for t, chunk in enumerate(chunks):
+                if k < len(chunk):
+                    envs[t][var] = chunk[k]
+                    yield from self._exec_body_batched(loop.body, envs[t], t, context)
+
+    def _slot_columns(
+        self, loop: Loop, env: Dict[str, int], start: int, n: int
+    ) -> Optional[list]:
+        cols = []
+        for stmt in loop.body:
+            res = self._resolve(stmt)
+            col = address_column(stmt, res, env, loop.var, start, loop.step, n)
+            if col is None:
+                return None
+            cols.append(col)
+        return cols
+
+    def _batch_key(
+        self, loop: Loop, env: Dict[str, int], thread: int, context: int
+    ) -> Optional[tuple]:
+        """Cache key covering everything a loop's columns depend on."""
+        needed = set()
+        for stmt in loop.body:
+            vs = referenced_vars(stmt.index)
+            if "?non-affine?" in vs:
+                return None
+            needed |= vs
+        needed.discard(loop.var)
+        vals = []
+        for v in sorted(needed):
+            if v not in env:
+                return None
+            vals.append((v, env[v]))
+        return (id(loop), thread, context, tuple(vals))
+
+    def _stmt_meta(self, body: List[Stmt]) -> list:
+        return [
+            (s.ip, self._resolve(s).size, s.is_write, s.line) for s in body
+        ]
+
+    def _serial_batches(
+        self, loop: Loop, env: Dict[str, int], thread: int, context: int
+    ) -> Optional[List[AccessBatch]]:
+        key = self._batch_key(loop, env, thread, context)
+        if key is not None:
+            cached = self._batch_cache.get(key)
+            if cached is not None:
+                return cached
+        cols = self._slot_columns(loop, env, loop.start, loop.trip_count)
+        if cols is None:
+            return None
+        batches = assemble_batches(
+            per_slot_columns=[cols],
+            stmt_meta=self._stmt_meta(loop.body),
+            thread_order=(thread,),
+            rounds=loop.trip_count,
+            context=context,
+        )
+        if key is not None:
+            if len(self._batch_cache) >= _BATCH_CACHE_CAP:
+                self._batch_cache.clear()
+            self._batch_cache[key] = batches
+        return batches
+
+    def _parallel_batches(
+        self,
+        loop: Loop,
+        env: Dict[str, int],
+        chunks: List[range],
+        minlen: int,
+        context: int,
+    ) -> Optional[List[AccessBatch]]:
+        key = self._batch_key(loop, env, -1, context)
+        if key is not None:
+            cached = self._batch_cache.get(key)
+            if cached is not None:
+                return cached
+        per_slot = []
+        for chunk in chunks:
+            cols = self._slot_columns(loop, env, chunk[0], minlen)
+            if cols is None:
+                return None
+            per_slot.append(cols)
+        batches = assemble_batches(
+            per_slot_columns=per_slot,
+            stmt_meta=self._stmt_meta(loop.body),
+            thread_order=tuple(range(len(chunks))),
+            rounds=minlen,
+            context=context,
+        )
+        if key is not None:
+            if len(self._batch_cache) >= _BATCH_CACHE_CAP:
+                self._batch_cache.clear()
+            self._batch_cache[key] = batches
+        return batches
+
+
+def _pure_access_body(body: List[Stmt]) -> bool:
+    return all(isinstance(s, Access) for s in body)
+
 
 def _static_chunks(iterations: range, num_threads: int) -> List[range]:
     """Split an iteration range into contiguous per-thread chunks."""
@@ -176,12 +383,31 @@ def run(
     ).run()
 
 
+def run_batched(
+    bound: BoundProgram,
+    *,
+    num_threads: int = 1,
+    context_table: Optional[ContextTable] = None,
+) -> Iterator[TraceItem]:
+    """Execute ``bound`` on the columnar fast path (convenience wrapper)."""
+    return Interpreter(
+        bound, num_threads=num_threads, context_table=context_table
+    ).run_batched()
+
+
 def trace_stats(bound: BoundProgram, *, num_threads: int = 1) -> Tuple[int, float]:
-    """(memory access count, compute cycles) for one execution."""
+    """(memory access count, compute cycles) for one execution.
+
+    Runs on the batched engine: counts are identical to the scalar
+    trace's by the batch-expansion invariant, and counting a batch is
+    O(1).
+    """
     accesses = 0
     compute = 0.0
-    for item in run(bound, num_threads=num_threads):
-        if isinstance(item, MemoryAccess):
+    for item in run_batched(bound, num_threads=num_threads):
+        if isinstance(item, AccessBatch):
+            accesses += item.length
+        elif isinstance(item, MemoryAccess):
             accesses += 1
         else:
             compute += item.cycles

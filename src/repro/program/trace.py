@@ -46,10 +46,18 @@ TraceItem = object  # MemoryAccess | ComputeBurst
 
 
 def memory_accesses(trace: Iterable[TraceItem]) -> Iterator[MemoryAccess]:
-    """Filter a mixed trace down to its memory accesses."""
+    """Filter a mixed trace down to its memory accesses.
+
+    Batched traces are expanded to their scalar view, so consumers see
+    the same access sequence regardless of engine.
+    """
+    from .batch import AccessBatch  # local: batch.py imports this module
+
     for item in trace:
         if isinstance(item, MemoryAccess):
             yield item
+        elif isinstance(item, AccessBatch):
+            yield from item
 
 
 def collect(trace: Iterable[TraceItem]) -> List[TraceItem]:
@@ -59,4 +67,12 @@ def collect(trace: Iterable[TraceItem]) -> List[TraceItem]:
 
 def count_accesses(trace: Iterable[TraceItem]) -> int:
     """Number of memory accesses in a (possibly mixed) trace."""
-    return sum(1 for _ in memory_accesses(trace))
+    from .batch import AccessBatch
+
+    total = 0
+    for item in trace:
+        if isinstance(item, MemoryAccess):
+            total += 1
+        elif isinstance(item, AccessBatch):
+            total += len(item)
+    return total

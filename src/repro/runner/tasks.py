@@ -93,7 +93,10 @@ def _optimize_task(spec: TaskSpec) -> object:
     from ..experiments.optimization import benchmark_record, run_benchmark
 
     result = run_benchmark(
-        spec.name, scale=float(spec.params.get("scale", 1.0)), seed=spec.seed
+        spec.name,
+        scale=float(spec.params.get("scale", 1.0)),
+        seed=spec.seed,
+        engine=str(spec.params.get("engine", "batched")),
     )
     return benchmark_record(result)
 
@@ -108,7 +111,11 @@ def _optimize_report_task(spec: TaskSpec) -> object:
         scale=float(spec.params.get("scale", 1.0))
     )
     period = spec.params.get("period") or workload.recommended_period
-    monitor = Monitor(sampling_period=int(period), seed=spec.seed)
+    monitor = Monitor(
+        sampling_period=int(period),
+        seed=spec.seed,
+        engine=str(spec.params.get("engine", "batched")),
+    )
     result = optimize(workload, monitor=monitor)
     return {
         "report": result.report.render(),

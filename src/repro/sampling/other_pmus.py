@@ -31,6 +31,13 @@ class _UnitLatencySampler(SamplingEngine):
         # recorded latency to a unit count before the sample is stored.
         super().observe(access, 1.0 if latency > 0 else latency)
 
+    def observe_batch(self, batch, latencies) -> None:
+        # Degrade the whole column before the batched engine slices
+        # samples out of it, mirroring the per-access override above.
+        super().observe_batch(
+            batch, [1.0 if latency > 0 else latency for latency in latencies]
+        )
+
 
 class DEARSampler(_UnitLatencySampler):
     """Itanium Data Event Address Registers (loads only)."""

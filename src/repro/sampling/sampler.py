@@ -16,6 +16,7 @@ so it plugs directly into the simulation driver.
 
 from __future__ import annotations
 
+import heapq
 import random
 from typing import Dict, List, Optional
 
@@ -97,8 +98,11 @@ class SamplingEngine:
         remaining = self._countdown.get(access.thread)
         if remaining is None:
             # Stagger each thread's first sample within one period so
-            # threads don't fire in lock-step.
-            remaining = self._rng.randint(1, self.period)
+            # threads don't fire in lock-step. The period is drawn
+            # through _next_period() so the stagger respects jitter and
+            # shows up in the periods_drawn telemetry like every other
+            # arming of the counter.
+            remaining = self._rng.randint(1, self._next_period())
         remaining -= 1
         if remaining <= 0:
             self.samples.append(
@@ -116,6 +120,100 @@ class SamplingEngine:
             )
             remaining = self._next_period()
         self._countdown[access.thread] = remaining
+
+    def observe_batch(self, batch, latencies: List[float]) -> None:
+        """Columnar observer hook: one call per :class:`AccessBatch`.
+
+        Advances each thread's countdown in O(samples) rather than
+        O(accesses): within a batch the eligible accesses of a thread
+        slot sit at arithmetically known positions, so the engine jumps
+        straight from one counter-expiry to the next. RNG draws (first-
+        sample stagger, post-sample re-arm) are replayed in global trace
+        position order via a small per-slot event heap, which makes the
+        selected samples — and every counter — bit-identical to feeding
+        the expanded batch through :meth:`observe`.
+
+        Subclasses that override :meth:`observe` must override this
+        hook consistently (see ``other_pmus._UnitLatencySampler``), or
+        the batched engine will bypass their per-access behaviour.
+        """
+        K = batch.stmts_per_iter
+        thread_order = batch.thread_order
+        T = len(thread_order)
+        rounds = batch.rounds
+        n = batch.length
+        if self.loads_only:
+            elig = [j for j in range(K) if not batch.write_pattern[j]]
+        else:
+            elig = list(range(K))
+        n_elig = len(elig)
+        if n_elig == 0:
+            self.total_accesses += n
+            return
+        if self.min_latency > 0.0 and min(latencies) < self.min_latency:
+            # Some accesses may fail the latency filter; eligibility is
+            # then data-dependent and the skip arithmetic doesn't apply.
+            self._observe_batch_slow(batch, latencies)
+            return
+        round_size = K * T
+        per_slot = rounds * n_elig  # eligible accesses per thread slot
+        base = self.total_accesses
+        self.total_accesses = base + n
+        self.eligible_accesses += per_slot * T
+
+        # Event heap keyed by global batch position. Entries are
+        # (pos, slot, eligible_index, is_first): a pending first-sample
+        # stagger draw, or a pending counter expiry.
+        heap = []
+        for s, t in enumerate(thread_order):
+            remaining = self._countdown.get(t)
+            if remaining is None:
+                heap.append((s * K + elig[0], s, 0, True))
+            else:
+                e = remaining - 1
+                if e < per_slot:
+                    pos = (e // n_elig) * round_size + s * K + elig[e % n_elig]
+                    heap.append((pos, s, e, False))
+                else:
+                    # Counter outlives the batch: just count it down.
+                    self._countdown[t] = remaining - per_slot
+        heapq.heapify(heap)
+
+        samples_append = self.samples.append
+        address, ip, size = batch.address, batch.ip, batch.size
+        is_write, line, context = batch.is_write, batch.line, batch.context
+        while heap:
+            pos, s, e, is_first = heapq.heappop(heap)
+            if is_first:
+                nxt = self._rng.randint(1, self._next_period()) - 1
+            else:
+                nxt = e
+            if nxt == e:
+                samples_append(
+                    AddressSample(
+                        seq=base + pos,
+                        thread=thread_order[s],
+                        ip=ip[pos],
+                        address=address[pos],
+                        size=size[pos],
+                        is_write=bool(is_write[pos]),
+                        latency=latencies[pos],
+                        line=line[pos],
+                        context=context[pos],
+                    )
+                )
+                nxt = e + self._next_period()
+            if nxt < per_slot:
+                npos = (nxt // n_elig) * round_size + s * K + elig[nxt % n_elig]
+                heapq.heappush(heap, (npos, s, nxt, False))
+            else:
+                self._countdown[thread_order[s]] = nxt - (per_slot - 1)
+
+    def _observe_batch_slow(self, batch, latencies: List[float]) -> None:
+        """Per-access replay for latency-filtered configurations."""
+        observe = self.observe
+        for access, latency in zip(batch, latencies):
+            observe(access, latency)
 
     # -- results ------------------------------------------------------------
 

@@ -1,0 +1,47 @@
+"""Acceptance gate: ``table3 --engine scalar`` == ``--engine batched``.
+
+The batched engine's whole claim is that it changes nothing but wall
+time. This drives the real CLI twice at a reduced scale and asserts
+the rendered Tables 3 and 4 — speedups, miss rates, every formatted
+digit — are byte-identical between engines, in both the human and the
+``--json`` renderings.
+"""
+
+import io
+
+from repro.cli import main
+
+SCALE = "0.05"
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    assert code == 0
+    return out.getvalue()
+
+
+class TestTable3EngineParity:
+    def test_tables_are_byte_identical(self):
+        scalar = run_cli(["table3", "--scale", SCALE, "--engine", "scalar"])
+        batched = run_cli(["table3", "--scale", SCALE, "--engine", "batched"])
+        assert scalar == batched
+        assert "Table 3" in scalar
+
+    def test_json_rendering_is_byte_identical(self):
+        scalar = run_cli(
+            ["table3", "--scale", SCALE, "--engine", "scalar", "--json"]
+        )
+        batched = run_cli(
+            ["table3", "--scale", SCALE, "--engine", "batched", "--json"]
+        )
+        assert scalar == batched
+
+
+class TestAnalyzeEngineParity:
+    def test_analyze_output_is_byte_identical(self):
+        scalar = run_cli(["analyze", "179.ART", "--scale", SCALE,
+                          "--engine", "scalar"])
+        batched = run_cli(["analyze", "179.ART", "--scale", SCALE,
+                           "--engine", "batched"])
+        assert scalar == batched

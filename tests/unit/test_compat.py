@@ -1,0 +1,71 @@
+"""The 3.9-floor slots helper and the hot classes that use it."""
+
+import sys
+
+import pytest
+
+from repro._compat import DATACLASS_SLOTS, slotted_dataclass
+from repro.memsim.cache import SetAssociativeCache
+from repro.memsim.engine import CostModel
+from repro.profiler.online import StreamState
+from repro.program import AccessBatch
+from repro.program.trace import ComputeBurst, MemoryAccess
+from repro.sampling.events import AddressSample
+
+ON_310 = sys.version_info >= (3, 10)
+
+
+class TestSlottedDataclass:
+    def test_flag_matches_interpreter(self):
+        assert DATACLASS_SLOTS == ON_310
+
+    def test_helper_builds_a_working_dataclass(self):
+        @slotted_dataclass()
+        class Point:
+            x: int = 0
+            y: int = 1
+
+        p = Point(x=3)
+        assert (p.x, p.y) == (3, 1)
+        if ON_310:
+            assert not hasattr(p, "__dict__")
+
+    def test_frozen_passthrough(self):
+        @slotted_dataclass(frozen=True)
+        class Frozen:
+            value: int = 0
+
+        with pytest.raises(Exception):
+            Frozen().value = 1
+
+
+@pytest.mark.skipif(not ON_310, reason="slots=True needs Python 3.10+")
+class TestHotClassesAreSlotted:
+    def test_stream_state_has_no_dict(self):
+        state = StreamState(key=(1, 2, ("main",)))
+        assert not hasattr(state, "__dict__")
+
+    def test_cost_model_has_no_dict(self):
+        assert not hasattr(CostModel(), "__dict__")
+
+    def test_cache_has_no_dict(self):
+        cache = SetAssociativeCache("L1", 32 * 1024, 8)
+        assert not hasattr(cache, "__dict__")
+
+
+class TestPerAccessRecordsAreDictless:
+    """The per-access records never carry a per-instance ``__dict__``
+    on any supported Python: NamedTuples by construction, AccessBatch
+    via an explicit ``__slots__``."""
+
+    def test_trace_records(self):
+        assert not hasattr(MemoryAccess(0, 0, 0, 4, False, 1, 0), "__dict__")
+        assert not hasattr(ComputeBurst(0, 1.0), "__dict__")
+
+    def test_sample_record(self):
+        sample = AddressSample(0, 0, 0, 0, 4, False, 1.0, 1, 0)
+        assert not hasattr(sample, "__dict__")
+
+    def test_access_batch_declares_slots(self):
+        assert "__slots__" in AccessBatch.__dict__
+        assert "__dict__" not in dir(AccessBatch)

@@ -1,0 +1,270 @@
+"""Unit tests for the columnar batched engine's building blocks.
+
+The property suite (test_prop_engine_parity) checks whole-pipeline
+equivalence over random programs; these tests pin the individual
+contracts — batch construction per index kind, the small-loop and
+error fallbacks, hierarchy batch parity per replacement policy, the
+sampler's batched countdown, and the satellite fixes that rode along
+(first-sample stagger, engine validation, bench regression gate).
+"""
+
+import json
+
+import pytest
+
+from repro.layout import INT, StructType
+from repro.experiments.bench import check_regression, write_bench
+from repro.memsim.engine import simulate
+from repro.memsim.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.profiler.monitor import Monitor
+from repro.program import (
+    Access,
+    AccessBatch,
+    Function,
+    Loop,
+    WorkloadBuilder,
+    affine,
+)
+from repro.program.batch import MIN_BATCH_TRIPS
+from repro.program.interp import Interpreter, TraceError
+from repro.program.ir import Indirect, Mod
+from repro.sampling.ibs import IBSSampler
+from repro.sampling.other_pmus import DEARSampler
+from repro.sampling.pebs import PEBSLoadLatencySampler
+
+ELEM = StructType("s", [("x", INT)])
+ELEMENTS = 64
+
+
+def program(index, stop=16, is_write=False):
+    """One loop over one access into a 64-element array of structs."""
+    builder = WorkloadBuilder("unit")
+    builder.add_aos(ELEM, ELEMENTS, name="A")
+    loop = Loop(
+        line=1,
+        var="i",
+        start=0,
+        stop=stop,
+        body=[Access(line=2, array="A", field="x", index=index,
+                     is_write=is_write)],
+        end_line=3,
+    )
+    return builder.build([Function("main", [loop])])
+
+
+def expand(items):
+    out = []
+    for item in items:
+        if isinstance(item, AccessBatch):
+            out.extend(item)
+        else:
+            out.append(item)
+    return out
+
+
+class TestBatchConstruction:
+    def test_strided_loop_emits_one_batch(self):
+        bound = program(affine("i"), stop=16)
+        items = list(Interpreter(bound).run_batched())
+        batches = [i for i in items if isinstance(i, AccessBatch)]
+        assert len(batches) == 1
+        batch = batches[0]
+        assert len(batch) == 16
+        addresses = list(batch.address)
+        strides = {b - a for a, b in zip(addresses, addresses[1:])}
+        assert strides == {addresses[1] - addresses[0]}
+
+    @pytest.mark.parametrize(
+        "index",
+        [
+            affine("i", 2, 1),
+            affine("i", -1, 15),
+            Mod(affine("i", 3, -5), ELEMENTS),
+            Mod(affine("i", -2, 7), 13),
+            Indirect.of([5, 3, 2, 7, 1], Mod(affine("i"), 5)),
+            Indirect.of(list(range(ELEMENTS)), Mod(affine("i", -3, 1), ELEMENTS)),
+        ],
+    )
+    def test_each_index_kind_expands_to_the_scalar_trace(self, index):
+        bound = program(index, stop=16)
+        scalar = list(Interpreter(bound).run())
+        assert expand(Interpreter(bound).run_batched()) == scalar
+
+    def test_small_loops_stay_scalar(self):
+        bound = program(affine("i"), stop=MIN_BATCH_TRIPS - 1)
+        items = list(Interpreter(bound).run_batched())
+        assert not any(isinstance(i, AccessBatch) for i in items)
+        assert items == list(Interpreter(bound).run())
+
+    def test_out_of_bounds_raises_identically(self):
+        # i*2 walks past count=64 at i=32; both engines must fail at
+        # the same trace position with the same message.
+        bound = program(affine("i", 2, 0), stop=40)
+
+        def drain(items):
+            seen = []
+            with pytest.raises(TraceError) as err:
+                for item in items:
+                    seen.append(item)
+            return expand(seen), str(err.value)
+
+        scalar_items, scalar_msg = drain(Interpreter(bound).run())
+        batched_items, batched_msg = drain(Interpreter(bound).run_batched())
+        assert batched_msg == scalar_msg
+        assert batched_items == scalar_items
+
+
+class TestHierarchyBatch:
+    # Repeats (hits), a spread wide enough to force evictions, and a
+    # revisit of evicted lines (re-misses).
+    ADDRESSES = [0, 64, 0, 4096, 64, 8] + [
+        640 * k for k in range(96)
+    ] + [0, 64, 4096]
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "random"])
+    def test_batch_matches_scalar_walk(self, policy):
+        config = HierarchyConfig(replacement=policy)
+        sizes = [4] * len(self.ADDRESSES)
+        reference = MemoryHierarchy(config, 1)
+        expected = [
+            reference.access(0, a, s, False)
+            for a, s in zip(self.ADDRESSES, sizes)
+        ]
+        hierarchy = MemoryHierarchy(config, 1)
+        got = hierarchy.access_batch(self.ADDRESSES, sizes)
+        assert got == expected
+        for mine, theirs in zip(
+            (hierarchy.l3, hierarchy.cores[0].l1, hierarchy.cores[0].l2),
+            (reference.l3, reference.cores[0].l1, reference.cores[0].l2),
+        ):
+            assert (mine.hits, mine.misses, mine.evictions) == (
+                theirs.hits, theirs.misses, theirs.evictions
+            )
+        assert hierarchy.dram_accesses == reference.dram_accesses
+
+    def test_split_accesses_match_scalar(self):
+        # size 8 at line_size-4 crosses a line boundary: the batch
+        # path must hand these to the scalar walk and still agree.
+        config = HierarchyConfig()
+        addresses = [config.line_size - 4, 0, 2 * config.line_size - 4]
+        sizes = [8, 4, 8]
+        reference = MemoryHierarchy(config, 1)
+        expected = [
+            reference.access(0, a, s, False) for a, s in zip(addresses, sizes)
+        ]
+        hierarchy = MemoryHierarchy(config, 1)
+        assert hierarchy.access_batch(addresses, sizes) == expected
+        assert hierarchy.dram_accesses == reference.dram_accesses
+
+    def test_batch_requires_single_core_simple_hierarchy(self):
+        multicore = MemoryHierarchy(HierarchyConfig(), 2)
+        assert not multicore.supports_batch
+        with pytest.raises(RuntimeError):
+            multicore.access_batch([0], [4])
+        prefetching = MemoryHierarchy(HierarchyConfig(prefetch_degree=2), 1)
+        assert not prefetching.supports_batch
+
+
+class TestSamplerBatch:
+    def run_both(self, make_sampler, bound, num_threads=1):
+        state = []
+        for batched in (False, True):
+            interp = Interpreter(bound, num_threads=num_threads)
+            trace = interp.run_batched() if batched else interp.run()
+            sampler = make_sampler()
+            simulate(
+                trace,
+                hierarchy=MemoryHierarchy(HierarchyConfig(), num_threads),
+                observer=sampler.observe,
+            )
+            state.append((
+                sampler.samples,
+                sampler.total_accesses,
+                sampler.eligible_accesses,
+                sampler.periods_drawn,
+                sampler._countdown,
+            ))
+        return state
+
+    @pytest.mark.parametrize(
+    "make_sampler",
+        [
+            lambda: PEBSLoadLatencySampler(7, jitter=0.3, seed=5),
+            lambda: PEBSLoadLatencySampler(7, jitter=0.0, ldlat=0.0, seed=5),
+            lambda: IBSSampler(5, jitter=0.2, seed=5),
+            lambda: DEARSampler(3, jitter=0.1, seed=5),
+        ],
+    )
+    def test_observe_batch_is_bit_identical(self, make_sampler):
+        bound = program(Mod(affine("i", 7, 3), ELEMENTS), stop=200)
+        scalar, batched = self.run_both(make_sampler, bound)
+        assert scalar == batched
+
+    def test_unit_latency_sampler_degrades_batched_column(self):
+        bound = program(Mod(affine("i"), ELEMENTS), stop=400)
+        scalar, batched = self.run_both(lambda: DEARSampler(11, seed=2), bound)
+        assert scalar == batched
+        assert all(s.latency == 1.0 for s in batched[0])
+
+    def test_first_sample_stagger_uses_jittered_period(self):
+        # Satellite fix: the initial countdown must come from
+        # _next_period(), so it lands in the jitter band *and* is
+        # recorded in periods_drawn like every later draw.
+        period, jitter = 100, 0.2
+        sampler = PEBSLoadLatencySampler(
+            period, jitter=jitter, ldlat=0.0, seed=9
+        )
+        bound = program(affine("i"), stop=16)
+        simulate(
+            Interpreter(bound).run(),
+            hierarchy=MemoryHierarchy(HierarchyConfig(), 1),
+            observer=sampler.observe,
+        )
+        assert sampler.periods_drawn, "stagger draw must be recorded"
+        spread = int(period * jitter)
+        first = sampler.periods_drawn[0]
+        assert period - spread <= first <= period + spread
+
+
+class TestEngineSelection:
+    def test_monitor_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            Monitor(engine="vectorized")
+
+    def test_monitor_accepts_both_engines(self):
+        assert Monitor(engine="scalar").engine == "scalar"
+        assert Monitor().engine == "batched"
+
+
+class TestBenchArtifacts:
+    PAYLOAD = {
+        "schema_version": 1,
+        "stamp": "20260101T000000",
+        "end_to_end": {"batched": {"accesses_per_sec": 1000.0}},
+    }
+
+    def baseline(self, tmp_path, rate):
+        payload = {"end_to_end": {"batched": {"accesses_per_sec": rate}}}
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_write_bench_names_file_from_stamp(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        path = write_bench(dict(self.PAYLOAD))
+        assert path.name == "BENCH_20260101T000000.json"
+        assert json.loads(path.read_text())["schema_version"] == 1
+
+    def test_check_regression_passes_within_tolerance(self, tmp_path):
+        ok, message = check_regression(
+            dict(self.PAYLOAD), self.baseline(tmp_path, 1200.0)
+        )
+        assert ok
+        assert "REGRESSION" not in message
+
+    def test_check_regression_fails_beyond_tolerance(self, tmp_path):
+        ok, message = check_regression(
+            dict(self.PAYLOAD), self.baseline(tmp_path, 2000.0)
+        )
+        assert not ok
+        assert "REGRESSION" in message
