@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from ..program.ir import Access, Call, Compute, Loop, Program, Stmt
+from ..program.ir import Access, AddrOf, Call, Compute, Loop, Program, PtrAccess, Stmt
 from .cfg import BasicBlock, ControlFlowGraph
 
 
@@ -57,7 +57,7 @@ class _FunctionLowering:
         for stmt in body:
             if isinstance(stmt, Loop):
                 self.lower_loop(stmt)
-            elif isinstance(stmt, (Access, Compute, Call)):
+            elif isinstance(stmt, (Access, AddrOf, Call, Compute, PtrAccess)):
                 self.add_stmt(stmt)
             else:
                 raise TypeError(f"cannot lower {type(stmt).__name__}")

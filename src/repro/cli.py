@@ -15,6 +15,10 @@ paper's artifacts:
     python -m repro trace art                 # telemetry: Perfetto trace
     python -m repro stats [workload]          # telemetry: metrics snapshot
     python -m repro bench [--quick]           # scalar vs batched engine bench
+    python -m repro lint all --format json    # machine-readable lint report
+    python -m repro verify                    # split-safety + false-sharing
+                                              # oracle across the zoo
+    python -m repro optimize AddrEscape --verify   # gated split (refused)
 
 ``analyze``, ``optimize``, and ``table3`` accept ``--engine
 {scalar,batched}`` (default batched: the columnar fast path, byte-
@@ -46,7 +50,11 @@ from typing import List, Optional
 from .core import OfflineAnalyzer, derive_plans, optimize, recommend_regrouping
 from .memsim import speedup
 from .profiler import Monitor
-from .workloads import TABLE2_WORKLOADS, RegroupingWorkload
+from .workloads import TABLE2_WORKLOADS, RegroupingWorkload, workload_zoo
+
+#: Table 2 plus the adversarial split-safety workloads: what analyze,
+#: optimize, lint, and verify operate over.
+_ZOO = workload_zoo()
 
 
 def _add_runner_args(parser: argparse.ArgumentParser) -> None:
@@ -83,7 +91,7 @@ def _build_parser() -> argparse.ArgumentParser:
         ("optimize", "analyze, apply the advised split, report the speedup"),
     ):
         p = sub.add_parser(name, help=text)
-        p.add_argument("workload", choices=sorted(TABLE2_WORKLOADS))
+        p.add_argument("workload", choices=sorted(_ZOO))
         p.add_argument("--scale", type=float, default=1.0)
         p.add_argument("--period", type=int, default=None,
                        help="sampling period (default: workload-recommended)")
@@ -95,6 +103,11 @@ def _build_parser() -> argparse.ArgumentParser:
         _add_engine_arg(p)
         if name == "optimize":
             _add_runner_args(p)
+            p.add_argument("--verify", action="store_true",
+                           help="gate the advised split behind the static "
+                                "split-safety verifier: UNSAFE/UNKNOWN advice "
+                                "is reported with its hazard site and NOT "
+                                "applied (exit 1 if nothing safe remains)")
         if name == "analyze":
             p.add_argument("--check", action="store_true",
                            help="cross-validate the sampled results against "
@@ -103,13 +116,35 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="print machine-readable JSON instead of the "
                                 "textual report")
 
-    p = sub.add_parser("lint", help="static workload linter (no execution)")
+    p = sub.add_parser(
+        "lint",
+        help="static workload linter (no execution); exits 0 when every "
+             "report is clean of errors (of warnings too under --strict), "
+             "1 otherwise",
+    )
     p.add_argument("workload",
-                   choices=sorted(TABLE2_WORKLOADS) + ["nbody-soa", "all"],
+                   choices=sorted(_ZOO) + ["nbody-soa", "all"],
                    help="a workload name, or 'all' for every bundled one")
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--strict", action="store_true",
                    help="treat warnings as errors")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="output format; 'json' prints one object with "
+                        "per-workload reports and aggregate ok/strict_ok "
+                        "flags (the exit code contract is identical)")
+
+    p = sub.add_parser(
+        "verify",
+        help="split-safety verdicts plus the static-vs-MESI false-sharing "
+             "oracle across the workload zoo; exits 1 if a Table 2 "
+             "workload is not provably SAFE, an adversarial workload is "
+             "not flagged UNSAFE with a concrete site, or the dynamic "
+             "oracle finds an invalidated line the static pass missed",
+    )
+    p.add_argument("workload", nargs="?", default="all",
+                   choices=sorted(_ZOO) + ["all"],
+                   help="a zoo workload, or 'all' (default)")
+    p.add_argument("--scale", type=float, default=0.1)
 
     p = sub.add_parser("regroup", help="array-regrouping extension demo")
     p.add_argument("--scale", type=float, default=1.0)
@@ -200,7 +235,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _monitored_run(args):
-    workload = TABLE2_WORKLOADS[args.workload](scale=args.scale)
+    workload = _ZOO[args.workload](scale=args.scale)
     period = args.period or workload.recommended_period
     monitor = Monitor(sampling_period=period,
                       engine=getattr(args, "engine", "batched"))
@@ -210,15 +245,15 @@ def _monitored_run(args):
 
 
 def resolve_workload(token: str) -> Optional[str]:
-    """Map a full name or a friendly alias onto a Table 2 workload.
+    """Map a full name or a friendly alias onto a zoo workload.
 
     ``art`` -> ``179.ART``, ``libquantum`` -> ``462.libquantum``,
     ``clomp`` -> ``CLOMP 1.2``, case-insensitively.
     """
-    if token in TABLE2_WORKLOADS:
+    if token in _ZOO:
         return token
     wanted = token.lower()
-    for name in TABLE2_WORKLOADS:
+    for name in _ZOO:
         aliases = {name.lower(), name.split()[0].lower()}
         tail = name.split(".")[-1].split()[0].lower()
         if not tail.isdigit():
@@ -229,7 +264,7 @@ def resolve_workload(token: str) -> Optional[str]:
 
 
 def _bad_workload(token: str, out) -> int:
-    names = ", ".join(sorted(TABLE2_WORKLOADS))
+    names = ", ".join(sorted(_ZOO))
     print(f"unknown workload {token!r}; choose from: {names}", file=out)
     return 2
 
@@ -276,13 +311,16 @@ def _print_runner_stats(stats) -> None:
 
 
 def _cmd_list(args, out) -> int:
-    for name, factory in TABLE2_WORKLOADS.items():
+    for name, factory in _ZOO.items():
         workload = factory(scale=0.01)
         kind = "parallel x4" if workload.num_threads > 1 else "sequential"
         structs = ", ".join(
             s.name for s in workload.target_structs().values()
         )
-        print(f"{name:16s} {kind:12s} target struct: {structs}", file=out)
+        flag = "  [adversarial: split is unsafe]" if workload.expected_unsafe \
+            else ""
+        print(f"{name:16s} {kind:12s} target struct: {structs}{flag}",
+              file=out)
     return 0
 
 
@@ -366,24 +404,70 @@ def _cmd_analyze(args, out) -> int:
 
 def _lint_targets(name: str, scale: float):
     if name == "all":
-        names = sorted(TABLE2_WORKLOADS) + ["nbody-soa"]
+        names = sorted(_ZOO) + ["nbody-soa"]
     else:
         names = [name]
     for n in names:
         if n == "nbody-soa":
             yield RegroupingWorkload(scale=scale)
         else:
-            yield TABLE2_WORKLOADS[n](scale=scale)
+            yield _ZOO[n](scale=scale)
 
 
 def _cmd_lint(args, out) -> int:
     from .static import lint_workload
 
+    reports = [
+        lint_workload(workload)
+        for workload in _lint_targets(args.workload, args.scale)
+    ]
+    status = 0 if all(r.ok(strict=args.strict) for r in reports) else 1
+    if getattr(args, "format", "text") == "json":
+        payload = {
+            "ok": all(r.ok() for r in reports),
+            "strict_ok": all(r.ok(strict=True) for r in reports),
+            "strict": args.strict,
+            "reports": [r.to_dict() for r in reports],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+    else:
+        for report in reports:
+            print(report.render(), file=out)
+    return status
+
+
+def _cmd_verify(args, out) -> int:
+    from .static import SAFE, UNSAFE, cross_validate_false_sharing, \
+        verify_split_safety
+
+    names = sorted(_ZOO) if args.workload == "all" else [args.workload]
     status = 0
-    for workload in _lint_targets(args.workload, args.scale):
-        report = lint_workload(workload)
-        print(report.render(), file=out)
-        if not report.ok(strict=args.strict):
+    for name in names:
+        workload = _ZOO[name](scale=args.scale)
+        bound = workload.build_original()
+        report = verify_split_safety(bound)
+        if workload.expected_unsafe:
+            flagged = [v for v in report.verdicts.values()
+                       if v.status == UNSAFE and v.site]
+            ok = bool(flagged)
+            summary = ("UNSAFE, as expected" if ok
+                       else "FAIL: expected an UNSAFE verdict with a site")
+        else:
+            ok = report.all_safe
+            summary = "SAFE" if ok else "FAIL: expected every array SAFE"
+        print(f"{name}: split safety {summary}", file=out)
+        for verdict in sorted(report.verdicts.values(), key=lambda v: v.array):
+            if verdict.status != SAFE:
+                print(f"  {verdict.array}: {verdict.status} at "
+                      f"{verdict.site}: {verdict.reason}", file=out)
+        if workload.num_threads > 1:
+            oracle = cross_validate_false_sharing(
+                bound, num_threads=workload.num_threads
+            )
+            ok = ok and oracle.ok
+            for line in oracle.render().splitlines():
+                print(f"  {line}", file=out)
+        if not ok:
             status = 1
     return status
 
@@ -399,12 +483,24 @@ def _maybe_write_package(args, report, workload, run, out) -> None:
 
 
 def _cmd_optimize(args, out) -> int:
-    if (args.jobs > 1 or args.cache) and not args.out:
+    if (args.jobs > 1 or args.cache) and not args.out and not args.verify:
         return _cmd_optimize_via_runner(args, out)
     with _telemetry_scope(args, out):
-        workload, monitor, run, _ = _monitored_run(args)
+        workload, monitor, run, bound = _monitored_run(args)
         report = OfflineAnalyzer().analyze(run)
         plans = derive_plans(report, workload.target_structs())
+        safety = None
+        withheld = {}
+        if args.verify and plans:
+            from .static import SAFE, verify_split_safety
+
+            safety = verify_split_safety(bound, sorted(plans))
+            withheld = {
+                name: safety.verdict_for(name)
+                for name in plans
+                if safety.verdict_for(name).status != SAFE
+            }
+            plans = {n: p for n, p in plans.items() if n not in withheld}
         optimized = None
         if plans:
             optimized = monitor.run_unmonitored(
@@ -412,8 +508,21 @@ def _cmd_optimize(args, out) -> int:
             )
     print(report.render(), file=out)
     _maybe_write_package(args, report, workload, run, out)
+    if safety is not None:
+        print(file=out)
+        for name in sorted(safety.verdicts):
+            verdict = safety.verdicts[name]
+            print(f"split safety: {name}: {verdict.status}", file=out)
+            if verdict.status != "SAFE":
+                print(f"  at {verdict.site}: {verdict.reason}", file=out)
+        for name in sorted(withheld):
+            print(f"  advice for {name!r} withheld (not applied)", file=out)
     if not plans:
-        print("\nno split recommended", file=out)
+        if withheld:
+            print("\nno safe split to apply: the advised split failed "
+                  "verification", file=out)
+        else:
+            print("\nno split recommended", file=out)
         return 1
     for plan in plans.values():
         print(f"\nadvice: {plan.describe()}", file=out)
@@ -640,6 +749,7 @@ _COMMANDS = {
     "list": _cmd_list,
     "analyze": _cmd_analyze,
     "lint": _cmd_lint,
+    "verify": _cmd_verify,
     "optimize": _cmd_optimize,
     "regroup": _cmd_regroup,
     "table3": _cmd_table3,

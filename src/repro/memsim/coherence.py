@@ -28,6 +28,9 @@ class CoherenceStats:
     writebacks: int = 0
     cache_to_cache: int = 0
     upgrades: int = 0
+    #: line -> invalidations that hit it; the static false-sharing
+    #: detector's oracle compares its flagged line set against this.
+    line_invalidations: Dict[int, int] = field(default_factory=dict)
 
 
 class MESIDirectory:
@@ -80,6 +83,9 @@ class MESIDirectory:
                 self.stats.cache_to_cache += 1
                 extra = max(extra, self.c2c_latency)
             self.stats.invalidations += 1
+            self.stats.line_invalidations[line] = (
+                self.stats.line_invalidations.get(line, 0) + 1
+            )
             del holders[other]
         if mine == SHARED:
             # S -> M upgrade: bus transaction even on a cache hit.

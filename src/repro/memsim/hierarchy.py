@@ -361,6 +361,12 @@ class MemoryHierarchy:
             return 0
         return self.directory.stats.invalidations
 
+    def line_invalidations(self) -> Dict[int, int]:
+        """``{line: invalidation count}`` observed by the directory."""
+        if self.directory is None:
+            return {}
+        return dict(self.directory.stats.line_invalidations)
+
     # -- telemetry ---------------------------------------------------------
 
     def export_metrics(self, registry) -> None:

@@ -9,6 +9,7 @@ from .ir import (
     IP_STRIDE,
     TEXT_BASE,
     Access,
+    AddrOf,
     Affine,
     Call,
     Compute,
@@ -19,6 +20,7 @@ from .ir import (
     Loop,
     Mod,
     Program,
+    PtrAccess,
     Stmt,
     affine,
 )
@@ -34,6 +36,7 @@ from .trace import (
 __all__ = [
     "Access",
     "AccessBatch",
+    "AddrOf",
     "Affine",
     "BoundProgram",
     "Call",
@@ -52,6 +55,7 @@ __all__ = [
     "MemoryAccess",
     "Mod",
     "Program",
+    "PtrAccess",
     "ROOT_CONTEXT",
     "Stmt",
     "TEXT_BASE",

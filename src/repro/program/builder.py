@@ -20,7 +20,7 @@ from ..layout import (
     SplitLayout,
     StructType,
 )
-from .ir import Function, Program
+from .ir import AddrOf, Function, Program
 
 
 class LayoutBinding:
@@ -93,6 +93,16 @@ class BoundProgram:
         """Check every IR access has a binding; raise KeyError otherwise."""
         for acc in self.program.accesses():
             self.bindings.resolve(acc.array, acc.field)
+        for _, stmt in self.program.walk():
+            if not isinstance(stmt, AddrOf):
+                continue
+            if stmt.field is not None:
+                self.bindings.resolve(stmt.array, stmt.field)
+            elif not self.bindings.backing_arrays(stmt.array):
+                raise KeyError(
+                    f"no binding for array {stmt.array!r} taken by address "
+                    f"at line {stmt.line}"
+                )
 
 
 class WorkloadBuilder:

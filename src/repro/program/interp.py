@@ -24,7 +24,7 @@ from .batch import (
 )
 from .builder import BoundProgram
 from .context import ROOT_CONTEXT, ContextTable
-from .ir import Access, Call, Compute, Loop, Program, Stmt
+from .ir import Access, AddrOf, Call, Compute, Loop, Program, PtrAccess, Stmt
 from .trace import ComputeBurst, MemoryAccess, TraceItem
 
 #: Cap on load/store width: real x86 scalar accesses are at most 8 bytes,
@@ -65,6 +65,37 @@ class _ResolvedAccess:
         return self.base + index * self.stride
 
 
+class _ResolvedAddrOf:
+    """Per-run cache of an AddrOf statement's address arithmetic."""
+
+    __slots__ = ("base", "stride", "count", "stmt")
+
+    def __init__(self, stmt: AddrOf, bound: BoundProgram) -> None:
+        if stmt.field is not None:
+            aos, field_name = bound.bindings.resolve(stmt.array, stmt.field)
+            self.base = aos.base + aos.struct.field(field_name).offset
+        else:
+            backing = bound.bindings.backing_arrays(stmt.array)
+            if len(backing) != 1:
+                raise TraceError(
+                    f"&{stmt.array}[...] at line {stmt.line}: whole-record "
+                    f"address of an object split across {len(backing)} arrays"
+                )
+            aos = backing[0]
+            self.base = aos.base
+        self.stride = aos.stride
+        self.count = aos.count
+        self.stmt = stmt
+
+    def address(self, index: int) -> int:
+        if index < 0 or index >= self.count:
+            raise TraceError(
+                f"index {index} out of bounds [0, {self.count}) for "
+                f"&{self.stmt.array}[...] at line {self.stmt.line}"
+            )
+        return self.base + index * self.stride
+
+
 class Interpreter:
     """Executes one BoundProgram. Create a fresh instance per run."""
 
@@ -83,6 +114,7 @@ class Interpreter:
         self.num_threads = num_threads
         self.contexts = context_table if context_table is not None else ContextTable()
         self._resolved: Dict[int, _ResolvedAccess] = {}
+        self._resolved_addrs: Dict[int, _ResolvedAddrOf] = {}
         self._batch_cache: Dict[tuple, list] = {}
 
     # -- public -------------------------------------------------------------
@@ -115,6 +147,33 @@ class Interpreter:
             self._resolved[key] = res
         return res
 
+    def _resolve_addr(self, stmt: AddrOf) -> _ResolvedAddrOf:
+        key = id(stmt)
+        res = self._resolved_addrs.get(key)
+        if res is None:
+            res = _ResolvedAddrOf(stmt, self.bound)
+            self._resolved_addrs[key] = res
+        return res
+
+    def _ptr_access(
+        self, stmt: PtrAccess, env: Dict[str, int], thread: int, context: int
+    ) -> MemoryAccess:
+        addr = env.get(stmt.ptr)
+        if addr is None:
+            raise TraceError(
+                f"pointer {stmt.ptr!r} read at line {stmt.line} before any "
+                f"AddrOf bound it"
+            )
+        return MemoryAccess(
+            thread,
+            stmt.ip,
+            addr + stmt.offset,
+            min(stmt.size, MAX_ACCESS_BYTES),
+            stmt.is_write,
+            stmt.line,
+            context,
+        )
+
     def _exec_body(
         self,
         body: List[Stmt],
@@ -142,6 +201,11 @@ class Interpreter:
                     yield from self._exec_parallel_loop(stmt, env, context)
                 else:
                     yield from self._exec_serial_loop(stmt, env, thread, context)
+            elif isinstance(stmt, AddrOf):
+                res = self._resolve_addr(stmt)
+                env[stmt.dest] = res.address(stmt.index.evaluate(env))
+            elif isinstance(stmt, PtrAccess):
+                yield self._ptr_access(stmt, env, thread, context)
             elif isinstance(stmt, Call):
                 callee = self.program.functions.get(stmt.callee)
                 if callee is None:
@@ -207,6 +271,11 @@ class Interpreter:
                     yield from self._exec_serial_loop_batched(
                         stmt, env, thread, context
                     )
+            elif isinstance(stmt, AddrOf):
+                res = self._resolve_addr(stmt)
+                env[stmt.dest] = res.address(stmt.index.evaluate(env))
+            elif isinstance(stmt, PtrAccess):
+                yield self._ptr_access(stmt, env, thread, context)
             elif isinstance(stmt, Call):
                 callee = self.program.functions.get(stmt.callee)
                 if callee is None:
@@ -358,8 +427,13 @@ def _pure_access_body(body: List[Stmt]) -> bool:
     return all(isinstance(s, Access) for s in body)
 
 
-def _static_chunks(iterations: range, num_threads: int) -> List[range]:
-    """Split an iteration range into contiguous per-thread chunks."""
+def static_chunks(iterations: range, num_threads: int) -> List[range]:
+    """Split an iteration range into contiguous per-thread chunks.
+
+    This is the interpreter's OpenMP-style static schedule; the static
+    false-sharing detector imports it so its per-thread footprints use
+    the exact same iteration partition the dynamic trace does.
+    """
     n = len(iterations)
     base, extra = divmod(n, num_threads)
     chunks: List[range] = []
@@ -369,6 +443,10 @@ def _static_chunks(iterations: range, num_threads: int) -> List[range]:
         chunks.append(iterations[start : start + size])
         start += size
     return chunks
+
+
+#: Backward-compatible alias for pre-existing internal callers.
+_static_chunks = static_chunks
 
 
 def run(

@@ -146,13 +146,68 @@ class Compute(Stmt):
 
 @dataclass
 class Call(Stmt):
-    """A call to another function in the program."""
+    """A call to another function in the program.
+
+    ``args`` names pointer variables (bound by :class:`AddrOf`) the
+    caller passes to the callee — the IR's calling convention for
+    escaping addresses. The interpreter copies the whole environment
+    into the callee either way; ``args`` is what the *static* analyses
+    propagate, so a pointer used by a callee without being passed is a
+    malformed workload the linter reports.
+    """
 
     callee: str = ""
+    args: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.callee:
             raise ValueError("Call requires a callee name")
+        self.args = tuple(self.args)
+
+
+@dataclass
+class AddrOf(Stmt):
+    """Take the address ``&array[index].field`` into variable ``dest``.
+
+    ``field`` None takes the whole record's base address (``&array[i]``)
+    — the pattern that makes structure splitting illegal outright. An
+    AddrOf emits no trace item; it only binds ``dest`` in the
+    environment for later :class:`PtrAccess` statements or for passing
+    to a callee via :attr:`Call.args`.
+    """
+
+    dest: str = ""
+    array: str = ""
+    field: Optional[str] = None
+    index: IndexExpr = Const(0)
+
+    def __post_init__(self) -> None:
+        if not self.dest:
+            raise ValueError("AddrOf requires a destination variable")
+        if not self.array:
+            raise ValueError("AddrOf requires an array name")
+
+
+@dataclass
+class PtrAccess(Stmt):
+    """A load or store through a pointer: ``*(ptr + offset)``.
+
+    ``ptr`` must have been bound by an :class:`AddrOf` (directly, or in
+    a caller that passed it via :attr:`Call.args`); ``offset`` is a
+    byte displacement, which is how the IR expresses pointer arithmetic
+    that can walk across field boundaries.
+    """
+
+    ptr: str = ""
+    offset: int = 0
+    size: int = 8
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.ptr:
+            raise ValueError("PtrAccess requires a pointer variable")
+        if self.size <= 0:
+            raise ValueError("PtrAccess size must be positive")
 
 
 @dataclass
@@ -326,4 +381,4 @@ class Program:
         )
 
 
-StmtLike = Union[Access, Compute, Call, Loop]
+StmtLike = Union[Access, AddrOf, Compute, Call, Loop, PtrAccess]

@@ -1,14 +1,25 @@
-"""Static analysis over the workload IR: exact strides, lint, oracle.
+"""Static analysis over the workload IR: a pass framework.
 
-Three layers, each consuming the one below:
+Layers, each consuming the ones below:
 
+- :mod:`repro.static.dataflow` — the forward-dataflow framework
+  (worklist solver over the lowered binary CFGs, lattice interface,
+  shared :class:`AnalysisContext`, and the pass registry every analysis
+  here registers with).
 - :mod:`repro.static.absint` — abstract interpretation of index
   expressions per loop nest: exact per-stream strides, structure sizes,
   field offsets, and a unit-latency affinity matrix (static Eqs 2-3,
-  5-7) without executing anything.
+  5-7) without executing anything. Registered as the ``absint`` pass.
+- :mod:`repro.static.safety` — flow-sensitive escape/alias analysis
+  classifying every structure as SAFE / UNSAFE / UNKNOWN to split
+  (``repro optimize --verify``). Registered as ``safety``.
+- :mod:`repro.static.falseshare` — static per-thread write footprints
+  at cache-line granularity, flagging lines multiple threads contend
+  on; cross-validated against memsim's MESI invalidation counts.
+  Registered as ``falseshare``.
 - :mod:`repro.static.lint` — workload well-formedness rules (bounds,
-  overlap, races, dead fields, Eq 4's sampling regime) over the static
-  report, surfaced as ``repro lint``.
+  overlap, races, dead fields, Eq 4's sampling regime, and the safety
+  hazards) over the static report, surfaced as ``repro lint``.
 - :mod:`repro.static.oracle` — cross-validation of the sampled
   pipeline against the static pass (``repro analyze --check``).
 """
@@ -25,6 +36,24 @@ from .absint import (
     StaticStream,
     summarize_index,
 )
+from .dataflow import (
+    AnalysisContext,
+    DataflowResult,
+    ForwardAnalysis,
+    StatementAnalysis,
+    available_passes,
+    register_pass,
+    reverse_postorder,
+    run_pass,
+    solve_forward,
+)
+from .falseshare import (
+    FalseSharingOracle,
+    FalseSharingReport,
+    SharedLine,
+    cross_validate_false_sharing,
+    detect_false_sharing,
+)
 from .lint import (
     RULES,
     LintFinding,
@@ -40,6 +69,17 @@ from .oracle import (
     cross_validate,
     cross_validate_report,
 )
+from .safety import (
+    SAFE,
+    UNKNOWN,
+    UNSAFE,
+    Hazard,
+    PointsToAnalysis,
+    SafetyReport,
+    SafetyVerdict,
+    collect_hazards,
+    verify_split_safety,
+)
 
 __all__ = [
     "ENUM_CAP",
@@ -52,6 +92,20 @@ __all__ = [
     "StaticReport",
     "StaticStream",
     "summarize_index",
+    "AnalysisContext",
+    "DataflowResult",
+    "ForwardAnalysis",
+    "StatementAnalysis",
+    "available_passes",
+    "register_pass",
+    "reverse_postorder",
+    "run_pass",
+    "solve_forward",
+    "FalseSharingOracle",
+    "FalseSharingReport",
+    "SharedLine",
+    "cross_validate_false_sharing",
+    "detect_false_sharing",
     "RULES",
     "LintFinding",
     "LintReport",
@@ -63,4 +117,13 @@ __all__ = [
     "StreamCheck",
     "cross_validate",
     "cross_validate_report",
+    "SAFE",
+    "UNKNOWN",
+    "UNSAFE",
+    "Hazard",
+    "PointsToAnalysis",
+    "SafetyReport",
+    "SafetyVerdict",
+    "collect_hazards",
+    "verify_split_safety",
 ]

@@ -40,7 +40,16 @@ from ..layout.struct import StructType
 from ..profiler.allocation import DataObjectRegistry
 from ..profiler.profile import DataIdentity
 from ..program.builder import BoundProgram
-from ..program.ir import Access, Call, IndexExpr, Indirect, Loop, Mod, Program
+from ..program.ir import (
+    Access,
+    AddrOf,
+    Call,
+    IndexExpr,
+    Indirect,
+    Loop,
+    Mod,
+    Program,
+)
 
 #: Enumeration budget for ``Indirect`` tables: above this trip count the
 #: analysis falls back to a sound whole-table summary (exact=False).
@@ -459,6 +468,14 @@ class StaticAnalysis:
         streams: List[StaticStream] = []
         issues: List[StaticIssue] = []
         for fname, stmt, stack in program.walk_with_loops():
+            if isinstance(stmt, AddrOf):
+                try:
+                    self._check_addrof(bound, stmt, stack)
+                except StaticAnalysisError as exc:
+                    issues.append(
+                        StaticIssue(exc.rule, str(exc), fname, stmt.line, stmt.ip)
+                    )
+                continue
             if not isinstance(stmt, Access):
                 continue
             try:
@@ -480,6 +497,33 @@ class StaticAnalysis:
             issues=issues,
             loop_map=loop_map,
         )
+
+    # -- address-of ---------------------------------------------------------
+
+    def _check_addrof(
+        self, bound: BoundProgram, stmt: AddrOf, stack: Tuple[Loop, ...]
+    ) -> None:
+        """Validate an AddrOf's binding and index range (no stream)."""
+        if stmt.field is not None:
+            try:
+                aos, _ = bound.bindings.resolve(stmt.array, stmt.field)
+            except KeyError as exc:
+                raise StaticAnalysisError("unbound-array", str(exc)) from None
+        else:
+            backing = bound.bindings.backing_arrays(stmt.array)
+            if not backing:
+                raise StaticAnalysisError(
+                    "unbound-array",
+                    f"no binding for array {stmt.array!r} taken by address",
+                )
+            aos = backing[0]
+        summary = summarize_index(stmt.index, stack)
+        if not summary.empty and (summary.lo < 0 or summary.hi >= aos.count):
+            raise StaticAnalysisError(
+                "oob-index",
+                f"address-of index range [{summary.lo}, {summary.hi}] "
+                f"exceeds declared extent [0, {aos.count}) of {stmt.array!r}",
+            )
 
     # -- per-access ---------------------------------------------------------
 

@@ -70,6 +70,39 @@ RULES: Dict[str, Tuple[str, str]] = {
         f"a strided stream can produce fewer than k={K_ACCURATE} unique "
         "addresses, below Eq 4's >99% stride-accuracy regime",
     ),
+    # Split-safety hazards (repro.static.safety). Legal programs can
+    # carry them — they only make structure splitting unsound — so they
+    # are warnings here and verdicts in `repro optimize --verify`.
+    "addr-escape": (
+        WARNING,
+        "a field or record address escapes into a callee, pinning the "
+        "structure layout across the call boundary",
+    ),
+    "whole-record-ptr": (
+        WARNING,
+        "a whole-record base pointer is dereferenced; the record layout "
+        "cannot change under it",
+    ),
+    "cross-field-ptr": (
+        WARNING,
+        "pointer arithmetic walks off the pointed-to field into a "
+        "neighbor, assuming fields stay contiguous",
+    ),
+    "aliased-view": (
+        WARNING,
+        "two logical arrays are overlapping views of one allocation; a "
+        "split moves bytes under one name but not the other",
+    ),
+    "sub-elem-stride": (
+        WARNING,
+        "a stream strides inside structure elements (cross-field "
+        "arithmetic)",
+    ),
+    "ptr-undefined": (
+        ERROR,
+        "a pointer variable may be dereferenced (or passed) before any "
+        "AddrOf binds it",
+    ),
 }
 
 
@@ -80,14 +113,25 @@ class Suppression:
     ``subject`` is an ``fnmatch`` glob matched against the finding's
     subject string; ``reason`` is mandatory documentation of *why* the
     pattern is deliberate (it is echoed in the lint report).
+
+    ``location`` is an ``fnmatch`` glob matched against the finding's
+    site rendered as ``function:line`` (e.g. ``"main:42"``, ``"init:*"``).
+    The default ``"*"`` matches any site — but a suppression written for
+    one occurrence should pin its location, so that a *new* occurrence
+    of the same rule on the same object still surfaces.
     """
 
     rule: str
     subject: str
     reason: str
+    location: str = "*"
 
     def matches(self, finding: "LintFinding") -> bool:
-        return finding.rule == self.rule and fnmatch(finding.subject, self.subject)
+        return (
+            finding.rule == self.rule
+            and fnmatch(finding.subject, self.subject)
+            and fnmatch(f"{finding.function}:{finding.line}", self.location)
+        )
 
 
 @dataclass(frozen=True)
@@ -104,6 +148,16 @@ class LintFinding:
     def render(self) -> str:
         where = f" at {self.function}:{self.line}" if self.function else ""
         return f"{self.severity}[{self.rule}] {self.subject}{where}: {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "subject": self.subject,
+            "message": self.message,
+            "function": self.function,
+            "line": self.line,
+        }
 
 
 @dataclass
@@ -141,6 +195,22 @@ class LintReport:
             f"{len(self.suppressed)} suppressed"
         )
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable form (``repro lint --format json``)."""
+        return {
+            "program": self.program,
+            "variant": self.variant,
+            "ok": self.ok(),
+            "strict_ok": self.ok(strict=True),
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [
+                {**f.to_dict(), "reason": s.reason}
+                for f, s in self.suppressed
+            ],
+        }
 
 
 def _stream_subject(stream: StaticStream) -> str:
@@ -261,6 +331,38 @@ def _check_short_trips(report: StaticReport, findings: List[LintFinding]) -> Non
         )
 
 
+def _check_hazards(bound: BoundProgram, report: StaticReport,
+                   findings: List[LintFinding]) -> None:
+    """Surface split-safety hazards as lint findings.
+
+    The same hazards gate ``repro optimize --verify``; here they are
+    advisory (warnings, except a possibly-unbound pointer, which is a
+    program bug regardless of splitting).
+    """
+    from .dataflow import AnalysisContext
+    from .safety import collect_hazards
+
+    ctx = AnalysisContext(bound, static_report=report)
+    for hazard in collect_hazards(ctx):
+        severity, _ = RULES.get(hazard.kind, (WARNING, ""))
+        if hazard.array and hazard.fields:
+            subject = f"{hazard.array}.{hazard.fields[0]}"
+        elif hazard.array:
+            subject = hazard.array
+        else:
+            subject = f"{hazard.function}:{hazard.line}"
+        findings.append(
+            LintFinding(
+                rule=hazard.kind,
+                severity=severity,
+                subject=subject,
+                message=hazard.message,
+                function=hazard.function,
+                line=hazard.line,
+            )
+        )
+
+
 def lint_program(
     bound: BoundProgram,
     *,
@@ -293,6 +395,7 @@ def lint_program(
     _check_write_races(report, findings)
     _check_dead_fields(bound, report, findings)
     _check_short_trips(report, findings)
+    _check_hazards(bound, report, findings)
 
     kept: List[LintFinding] = []
     suppressed: List[Tuple[LintFinding, Suppression]] = []

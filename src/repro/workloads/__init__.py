@@ -5,12 +5,15 @@ from typing import Callable, Dict, List
 from .art import ArtWorkload, F1_NEURON
 from .base import LoopSpec, PaperWorkload, permuted_indices
 from .clomp import ZONE, ClompWorkload
+from .escape import PACKET, EscapeWorkload
 from .health import PATIENT, HealthWorkload
 from .libquantum import QUANTUM_REG_NODE, LibquantumWorkload
 from .mser import NODE_T, MserWorkload
 from .nn import NEIGHBOR, NnWorkload
+from .overlap import CELL, OverlapWorkload
 from .regroup import COORDS, RegroupingWorkload
 from .suites import (
+    ADVERSARIAL_WORKLOADS,
     RODINIA_KERNELS,
     SPEC_CPU2006_KERNELS,
     KernelSpec,
@@ -35,10 +38,26 @@ def all_workloads(scale: float = 1.0) -> List[PaperWorkload]:
     return [factory(scale=scale) for factory in TABLE2_WORKLOADS.values()]
 
 
+def workload_zoo() -> Dict[str, Callable[..., PaperWorkload]]:
+    """Table 2 plus the adversarial split-safety workloads.
+
+    The zoo is what the safety tooling (``repro lint``, ``repro
+    optimize --verify``, ``repro verify``) iterates over: the seven
+    benchmarks whose advised splits must verify SAFE, and the
+    adversarial pair (``expected_unsafe``) the verifier must refuse.
+    """
+    return {**TABLE2_WORKLOADS, **ADVERSARIAL_WORKLOADS}
+
+
 __all__ = [
+    "ADVERSARIAL_WORKLOADS",
     "ArtWorkload",
+    "CELL",
     "ClompWorkload",
+    "EscapeWorkload",
     "F1_NEURON",
+    "OverlapWorkload",
+    "PACKET",
     "HealthWorkload",
     "KernelSpec",
     "LibquantumWorkload",
@@ -61,4 +80,5 @@ __all__ = [
     "all_workloads",
     "suite_by_name",
     "permuted_indices",
+    "workload_zoo",
 ]

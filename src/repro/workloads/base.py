@@ -42,6 +42,9 @@ class PaperWorkload:
     #: every hot stream collects well over 10 unique samples (the Eq 4
     #: threshold) at the simulated trace length.
     recommended_period: int = 512
+    #: True for the adversarial zoo members: profitable to split by
+    #: Eq 7, but the split-safety verifier must flag them UNSAFE.
+    expected_unsafe: bool = False
 
     def __init__(self, scale: float = 1.0) -> None:
         if scale <= 0:

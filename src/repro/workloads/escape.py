@@ -1,0 +1,118 @@
+"""AddrEscape — adversarial workload #1: a field address escapes.
+
+The access profile is deliberately NN-shaped: a hot loop hammers the
+8-byte ``len`` field while the fat inline ``payload`` is read once per
+32 records, so Eq 7 advises splitting ``payload`` away from ``len`` —
+a clearly *profitable* split. But a checksum pass takes
+``&packets[i].payload`` and passes the pointer into ``fold_payload()``,
+which dereferences it. Splitting the structure would relocate
+``payload`` out from under every pointer held across that call
+boundary — the exact legality gap §4 of the paper leaves to the
+programmer. The split-safety verifier must flag ``packets`` UNSAFE
+(``addr-escape``) with the call site, and ``repro optimize --verify``
+must refuse to apply the otherwise-advised split.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..layout.splitting import SplitPlan
+from ..layout.struct import StructType
+from ..layout.types import CHAR, LONG, array_of
+from ..program.builder import WorkloadBuilder
+from ..program.ir import AddrOf, Call, Compute, Function, Loop, PtrAccess, affine
+from .base import LoopSpec, PaperWorkload
+from .common import field_sweep
+
+#: Inline packet body, NN-style: fat enough that Eq 7 wants it gone.
+PAYLOAD_BYTES = 48
+
+PACKET = StructType(
+    "packet",
+    [
+        ("payload", array_of(CHAR, PAYLOAD_BYTES)),
+        ("len", LONG),
+    ],
+)
+
+#: Length-check arithmetic per packet in the hot loop.
+WORK = 70.0
+
+
+class EscapeWorkload(PaperWorkload):
+    """Packet filter whose checksum pass leaks a field pointer."""
+
+    name = "AddrEscape"
+    num_threads = 1
+    recommended_period = 509
+    expected_unsafe = True
+
+    #: 65536 packets * 56B = 3.5MB at scale 1.
+    BASE_RECORDS = 65536
+
+    def target_structs(self) -> Dict[str, StructType]:
+        return {"packets": PACKET}
+
+    def paper_plans(self) -> Dict[str, SplitPlan]:
+        """The split Eq 7 advises — and the verifier must reject."""
+        return {
+            "packets": SplitPlan(PACKET.name, (("payload",), ("len",)))
+        }
+
+    def lint_suppressions(self) -> Tuple:
+        from ..static.lint import Suppression
+
+        return (
+            Suppression(
+                "addr-escape",
+                "packets.payload",
+                "deliberate: this workload exists to exercise the "
+                "split-safety verifier's escape analysis",
+                location="main:262",
+            ),
+        )
+
+    def _populate(
+        self, builder: WorkloadBuilder, plans: Dict[str, SplitPlan]
+    ) -> List[Function]:
+        n = self.scaled(self.BASE_RECORDS, minimum=64)
+        self.register_struct_array(
+            builder, PACKET, n, "packets", plans,
+            call_path=("main", "load_packets"),
+        )
+        checksummed = max(4, n // 64)
+        body = [
+            # The hot length scan: len alone, NN's profile shape.
+            field_sweep(
+                LoopSpec(lines=(210, 213), fields=("len",), repetitions=6,
+                         compute_cycles=WORK),
+                "packets",
+                n,
+            ),
+            # Payload formatting: reads payload once per 32 packets.
+            field_sweep(
+                LoopSpec(lines=(240, 242), fields=("payload",), repetitions=1,
+                         compute_cycles=WORK),
+                "packets",
+                n // 32,
+            ),
+            # The checksum pass: &packets[e].payload escapes into
+            # fold_payload() — the statement that makes the advised
+            # split illegal.
+            Loop(line=260, var="e", start=0, stop=checksummed, end_line=263,
+                 body=[
+                     AddrOf(line=261, dest="pkt", array="packets",
+                            field="payload", index=affine("e")),
+                     Call(line=262, callee="fold_payload", args=("pkt",)),
+                 ]),
+        ]
+        fold = [
+            Compute(line=301, cycles=6.0),
+            PtrAccess(line=302, ptr="pkt", offset=0, size=8),
+        ]
+        return [
+            Function("main", body, line=200),
+            Function("fold_payload", fold, line=300),
+        ]
+

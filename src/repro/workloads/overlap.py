@@ -1,0 +1,140 @@
+"""OverlapView — adversarial workload #2: an aliased overlapping view.
+
+A four-thread stencil kernel over 40-byte cells: the hot loop reads
+``value`` and writes ``grad``, a halo-exchange loop writes each chunk's
+first ``value`` from the neighbouring thread (wrap-around ``i+1``), and
+a 24-byte ``hist`` scratch field is touched once per 32 cells. Eq 7
+advises regrouping ``{value, grad}`` away from ``hist`` — profitable.
+But a diagnostics pass reads the same cells through a second logical
+array, ``cell_view``, bound as an overlapping view of the ``value``
+bytes (the C idiom of casting the cell array to ``double*``). A split
+moves those bytes under one name but not the other, so the verifier
+must flag both names UNSAFE (``aliased-view``) and ``repro optimize
+--verify`` must refuse the split. The halo writes also make this the
+zoo's stress case for the static false-sharing detector: neighbouring
+threads genuinely contend on chunk-boundary cache lines, so memsim's
+MESI directory records invalidations the static line set must cover.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..layout.splitting import SplitPlan
+from ..layout.struct import StructType
+from ..layout.types import CHAR, DOUBLE, array_of
+from ..program.builder import WorkloadBuilder
+from ..program.ir import Access, Affine, Compute, Function, Loop, Mod, affine
+from .base import LoopSpec, PaperWorkload
+from .common import field_sweep
+
+#: 24 bytes of per-cell scratch statistics, cold.
+HIST_BYTES = 24
+
+CELL = StructType(
+    "cell",
+    [
+        ("value", DOUBLE),
+        ("grad", DOUBLE),
+        ("hist", array_of(CHAR, HIST_BYTES)),
+    ],
+)
+
+#: Stencil arithmetic per cell in the hot loop.
+WORK = 40.0
+
+
+class OverlapWorkload(PaperWorkload):
+    """Stencil kernel read through two overlapping logical arrays."""
+
+    name = "OverlapView"
+    num_threads = 4
+    recommended_period = 521
+    expected_unsafe = True
+
+    #: 16384 cells * 40B = 640KB at scale 1.
+    BASE_CELLS = 16384
+
+    def target_structs(self) -> Dict[str, StructType]:
+        return {"cells": CELL}
+
+    def paper_plans(self) -> Dict[str, SplitPlan]:
+        """The split Eq 7 advises — and the verifier must reject."""
+        return {
+            "cells": SplitPlan(CELL.name, (("value", "grad"), ("hist",)))
+        }
+
+    def lint_suppressions(self) -> Tuple:
+        from ..static.lint import Suppression
+
+        reason = (
+            "deliberate: this workload exists to exercise the "
+            "split-safety verifier's alias analysis"
+        )
+        return (
+            Suppression("aliased-view", "cells.value", reason,
+                        location="main:410"),
+            Suppression("aliased-view", "cell_view.value", reason,
+                        location="main:461"),
+        )
+
+    def _populate(
+        self, builder: WorkloadBuilder, plans: Dict[str, SplitPlan]
+    ) -> List[Function]:
+        n = self.scaled(self.BASE_CELLS, minimum=128)
+        self.register_struct_array(
+            builder, CELL, n, "cells", plans, call_path=("main", "alloc_grid"),
+        )
+        # The diagnostics view: the same value bytes under a second
+        # logical name — the statement that makes the split illegal.
+        aos, _ = builder.bindings.resolve("cells", "value")
+        builder.bindings.bind_alias("cell_view", aos, "value")
+
+        # Halo exchange: each iteration writes its right neighbour's
+        # value (wrap-around), so the last cell of every thread's chunk
+        # stores into the first cell of the next thread's — real
+        # cross-thread sharing on the boundary cache lines.
+        halo = Loop(line=420, var="r420", start=0, stop=2, end_line=422,
+                    body=[
+                        Compute(line=420, cycles=8.0 * n),
+                        Loop(line=421, var="h", start=0, stop=n, end_line=422,
+                             parallel=True,
+                             body=[
+                                 Access(line=421, array="cells", field="value",
+                                        index=Mod(Affine("h", 1, 1), n),
+                                        is_write=True),
+                             ]),
+                    ])
+        # The diagnostics pass: serial read of every value through the
+        # overlapping view.
+        view = Loop(line=460, var="r460", start=0, stop=1, end_line=462,
+                    body=[
+                        Compute(line=460, cycles=4.0 * n),
+                        Loop(line=461, var="v", start=0, stop=n, end_line=462,
+                             body=[
+                                 Access(line=461, array="cell_view",
+                                        field=None, index=affine("v")),
+                             ]),
+                    ])
+        body = [
+            # The hot stencil: value read, grad written, all threads.
+            field_sweep(
+                LoopSpec(lines=(410, 413), fields=("value", "grad"),
+                         repetitions=6, compute_cycles=WORK),
+                "cells",
+                n,
+                parallel=True,
+                writes=("grad",),
+                stagger=False,
+            ),
+            halo,
+            # Histogram maintenance: hist once per 32 cells, cold.
+            field_sweep(
+                LoopSpec(lines=(440, 441), fields=("hist",), repetitions=1,
+                         compute_cycles=WORK),
+                "cells",
+                n // 32,
+            ),
+            view,
+        ]
+        return [Function("main", body, line=400)]

@@ -20,6 +20,8 @@ from ..layout.types import DOUBLE
 from ..program.builder import BoundProgram, WorkloadBuilder
 from ..program.ir import Function
 from .common import scalar_sweep
+from .escape import EscapeWorkload
+from .overlap import OverlapWorkload
 
 
 @dataclass(frozen=True)
@@ -101,6 +103,15 @@ SPEC_CPU2006_KERNELS: Tuple[KernelSpec, ...] = (
     KernelSpec("470.lbm", 1, work=12.5, stride=8),
     KernelSpec("482.sphinx3", 1, work=19.0, stride=1),
 )
+
+
+#: Adversarial companions to the Table 2 set: workloads whose splits
+#: are profitable by Eq 7 but illegal — the split-safety verifier must
+#: refuse them. Keyed like TABLE2_WORKLOADS (name -> factory).
+ADVERSARIAL_WORKLOADS: Dict[str, type] = {
+    EscapeWorkload.name: EscapeWorkload,
+    OverlapWorkload.name: OverlapWorkload,
+}
 
 
 def suite_by_name(suite: str) -> Tuple[KernelSpec, ...]:

@@ -1,0 +1,125 @@
+"""Property tests: split-safety verdicts are stable program properties.
+
+Two contracts, over randomly generated pointer programs:
+
+* permutation invariance — the verdict (and the multiset of hazard
+  kinds) depends on which statements the loop body contains, not on
+  the order they appear in;
+* engine indifference — interpreting the program, with the scalar or
+  the batched engine, neither perturbs a later verdict nor disagrees
+  with the other engine's trace.
+
+Statements are generated in *units*: an ``AddrOf`` travels with the
+dereference or call that consumes it, so a permutation never breaks a
+def-use pair — it only reorders independent computations, which is
+exactly the reordering a compiler (or a refactoring programmer) is
+free to make.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout import INT, StructType
+from repro.program import (
+    Access,
+    AddrOf,
+    Call,
+    Function,
+    Interpreter,
+    Loop,
+    PtrAccess,
+    WorkloadBuilder,
+    affine,
+    memory_accesses,
+)
+from repro.static import AnalysisContext, collect_hazards, verify_split_safety
+
+PAIR = StructType("pair", [("a", INT), ("b", INT)])
+COUNT = 16
+
+
+def _unit(kind, k):
+    """One def-use unit of loop-body statements; lines unique per k."""
+    base = 10 * k + 10
+    ptr = f"p{k}"
+    if kind == "access":
+        return [Access(line=base, array="A", field="a", index=affine("i"))]
+    if kind == "safe-ptr":
+        return [
+            AddrOf(line=base, dest=ptr, array="A", field="a",
+                   index=affine("i")),
+            PtrAccess(line=base + 1, ptr=ptr, offset=0, size=4),
+        ]
+    if kind == "cross-field":
+        return [
+            AddrOf(line=base, dest=ptr, array="A", field="a",
+                   index=affine("i")),
+            PtrAccess(line=base + 1, ptr=ptr, offset=2, size=4),
+        ]
+    if kind == "escape":
+        return [
+            AddrOf(line=base, dest=ptr, array="A", field="a",
+                   index=affine("i")),
+            Call(line=base + 1, callee=f"sink{k}", args=(ptr,)),
+        ]
+    if kind == "whole-record":
+        return [
+            AddrOf(line=base, dest=ptr, array="A", field=None,
+                   index=affine("i")),
+            PtrAccess(line=base + 1, ptr=ptr, offset=0, size=4),
+        ]
+    raise AssertionError(kind)
+
+
+UNIT_KINDS = ["access", "safe-ptr", "cross-field", "escape", "whole-record"]
+
+
+@st.composite
+def unit_lists(draw):
+    kinds = draw(st.lists(st.sampled_from(UNIT_KINDS), min_size=1,
+                          max_size=4))
+    return [_unit(kind, k) for k, kind in enumerate(kinds)]
+
+
+def build(units):
+    builder = WorkloadBuilder("prop-safety")
+    builder.add_aos(PAIR, COUNT, name="A")
+    statements = [stmt for unit in units for stmt in unit]
+    body = [Loop(line=2, var="i", start=0, stop=COUNT, body=statements)]
+    # Each escape unit gets its own sink so the callee dereferences the
+    # pointer that was actually passed, in bounds.
+    helpers = [
+        Function(stmt.callee, [
+            PtrAccess(line=1000 + stmt.line, ptr=stmt.args[0],
+                      offset=0, size=4),
+        ], line=999 + stmt.line)
+        for stmt in statements if isinstance(stmt, Call)
+    ]
+    return builder.build([Function("main", body, line=1)] + helpers)
+
+
+def fingerprint(bound):
+    report = verify_split_safety(bound)
+    statuses = {name: v.status for name, v in report.verdicts.items()}
+    kinds = sorted(h.kind for h in collect_hazards(AnalysisContext(bound)))
+    return statuses, kinds
+
+
+class TestPermutationInvariance:
+    @settings(max_examples=40, deadline=None)
+    @given(units=unit_lists(), data=st.data())
+    def test_verdict_ignores_statement_order(self, units, data):
+        shuffled = data.draw(st.permutations(units))
+        assert fingerprint(build(units)) == fingerprint(build(shuffled))
+
+
+class TestEngineIndifference:
+    @settings(max_examples=25, deadline=None)
+    @given(units=unit_lists())
+    def test_verdict_unchanged_by_either_engine(self, units):
+        bound = build(units)
+        before = fingerprint(bound)
+        scalar = list(memory_accesses(Interpreter(bound).run()))
+        batched = list(memory_accesses(Interpreter(bound).run_batched()))
+        assert scalar == batched
+        assert fingerprint(bound) == before

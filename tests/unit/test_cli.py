@@ -205,6 +205,81 @@ class TestTelemetryFlag:
         assert "speedup:" in text
 
 
+class TestLintJsonFormat:
+    def test_json_payload_shape(self):
+        code, text = run_cli("lint", "Health", "--scale", "0.05",
+                             "--format", "json")
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["ok"] is True
+        assert payload["strict"] is False
+        (report,) = payload["reports"]
+        assert report["program"] == "Health"
+        assert "findings" in report
+        assert "suppressed" in report
+
+    def test_json_all_strict_exit_contract(self):
+        code, text = run_cli("lint", "all", "--scale", "0.05", "--strict",
+                             "--format", "json")
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["strict_ok"] is True
+        names = {r["program"] for r in payload["reports"]}
+        assert "AddrEscape" in names
+        assert "OverlapView" in names
+
+
+class TestVerifyCommand:
+    def test_single_safe_workload(self):
+        code, text = run_cli("verify", "NN", "--scale", "0.05")
+        assert code == 0
+        assert "SAFE" in text
+
+    def test_adversarial_workload_expected_unsafe(self):
+        code, text = run_cli("verify", "AddrEscape", "--scale", "0.05")
+        assert code == 0
+        assert "UNSAFE, as expected" in text
+        assert "main:" in text
+
+    def test_multicore_runs_false_sharing_oracle(self):
+        code, text = run_cli("verify", "OverlapView", "--scale", "0.05")
+        assert code == 0
+        assert "false-sharing oracle" in text
+        assert "[OK]" in text
+
+
+class TestOptimizeVerifyFlag:
+    def test_safe_split_is_applied(self):
+        code, text = run_cli("optimize", "NN", "--scale", "0.05", "--verify")
+        assert code == 0
+        assert "split safety: neighbors: SAFE" in text
+        assert "speedup:" in text
+
+    def test_unsafe_advice_is_withheld(self):
+        code, text = run_cli("optimize", "AddrEscape", "--scale", "0.05",
+                             "--verify")
+        assert code == 1
+        assert "UNSAFE" in text
+        assert "withheld (not applied)" in text
+        assert "no safe split to apply" in text
+
+    def test_without_verify_unsafe_split_still_applies(self):
+        # Documents the hazard --verify exists to close: without the
+        # gate, the profitable-but-illegal split goes through.
+        code, text = run_cli("optimize", "AddrEscape", "--scale", "0.05")
+        assert code == 0
+        assert "advice: split packet" in text
+
+
+class TestListAdversarialMarker:
+    def test_adversarial_workloads_are_marked(self):
+        code, text = run_cli("list")
+        assert code == 0
+        assert "AddrEscape" in text
+        assert "OverlapView" in text
+        assert text.count("[adversarial: split is unsafe]") == 2
+
+
 class TestParserBasics:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):

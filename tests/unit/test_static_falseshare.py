@@ -1,0 +1,160 @@
+"""Unit tests for the static false-sharing detector (static/falseshare.py)."""
+
+import pytest
+
+from repro.layout import LONG, StructType
+from repro.memsim import HierarchyConfig
+from repro.program import (
+    Access,
+    AddrOf,
+    Affine,
+    Const,
+    Function,
+    Loop,
+    Mod,
+    PtrAccess,
+    WorkloadBuilder,
+    affine,
+)
+from repro.static import cross_validate_false_sharing, detect_false_sharing
+from repro.static.absint import ENUM_CAP
+
+SLOT = StructType("slot", [("v", LONG)])
+
+
+def build(body, *, count=60, name="S"):
+    builder = WorkloadBuilder("fs")
+    builder.add_aos(SLOT, count, name=name)
+    return builder.build([Function("main", body, line=1)])
+
+
+def interleaved_writes(n=60):
+    """Two threads whose written elements interleave even/odd.
+
+    The write index 31*i mod 60 maps thread 0's chunk (i in [0,30)) to
+    the evens of [0,30) and the odds of [31,60), and thread 1's chunk to
+    the complement — so every cache line in the array, whatever the
+    allocation's alignment, holds bytes written by both threads at
+    disjoint offsets: textbook false sharing.
+    """
+    return build([
+        Loop(line=2, var="i", start=0, stop=n, parallel=True, body=[
+            Access(line=3, array="S", field="v",
+                   index=Mod(Affine("i", 31, 0), n), is_write=True),
+        ]),
+    ], count=n)
+
+
+class TestDetection:
+    def test_interleaved_writers_flag_false_sharing(self):
+        report = detect_false_sharing(interleaved_writes(), num_threads=2)
+        assert report.exact
+        assert report.lines
+        assert all(e.kind == "false-sharing" for e in report.lines)
+        entry = report.lines[0]
+        assert entry.threads == (0, 1)
+        assert entry.writers == (0, 1)
+        assert "v" in entry.fields
+        assert ("main", 3) in entry.sites
+        assert entry.object_name == "S"
+
+    def test_same_address_writes_are_true_sharing(self):
+        bound = build([
+            Loop(line=2, var="i", start=0, stop=8, parallel=True, body=[
+                Access(line=3, array="S", field="v", index=Const(0),
+                       is_write=True),
+            ]),
+        ])
+        report = detect_false_sharing(bound, num_threads=2)
+        (entry,) = report.lines
+        assert entry.kind == "true-sharing"
+
+    def test_single_thread_never_shares(self):
+        report = detect_false_sharing(interleaved_writes(), num_threads=1)
+        assert report.lines == []
+        assert report.exact
+
+    def test_serial_loop_runs_on_thread_zero_only(self):
+        bound = build([
+            Loop(line=2, var="i", start=0, stop=60, body=[
+                Access(line=3, array="S", field="v", index=affine("i"),
+                       is_write=True),
+            ]),
+        ])
+        report = detect_false_sharing(bound, num_threads=4)
+        assert report.lines == []
+
+    def test_read_only_lines_not_flagged(self):
+        bound = build([
+            Loop(line=2, var="i", start=0, stop=60, parallel=True, body=[
+                Access(line=3, array="S", field="v",
+                       index=Mod(Affine("i", 31, 0), 60)),
+            ]),
+        ])
+        assert detect_false_sharing(bound, num_threads=2).lines == []
+
+    def test_bad_line_size_rejected(self):
+        with pytest.raises(ValueError, match="power of two"):
+            detect_false_sharing(interleaved_writes(), num_threads=2,
+                                 line_size=48)
+        with pytest.raises(ValueError, match="num_threads"):
+            detect_false_sharing(interleaved_writes(), num_threads=0)
+
+
+class TestCoarseFallbacks:
+    def test_over_budget_loop_blankets_the_array(self):
+        n = ENUM_CAP + 2
+        bound = build([
+            Loop(line=2, var="i", start=0, stop=n, parallel=True, body=[
+                Access(line=3, array="S", field="v", index=affine("i"),
+                       is_write=True),
+            ]),
+        ], count=n)
+        report = detect_false_sharing(bound, num_threads=2)
+        assert not report.exact
+        assert report.coarse_spans
+        aos = bound.bindings.backing_arrays("S")[0]
+        assert report.covers(aos.base >> 6)
+        assert report.covers((aos.base + aos.count * aos.stride - 1) >> 6)
+
+    def test_parallel_ptr_access_blankets_possible_targets(self):
+        bound = build([
+            Loop(line=2, var="i", start=0, stop=8, parallel=True, body=[
+                AddrOf(line=3, dest="p", array="S", field="v",
+                       index=affine("i")),
+                PtrAccess(line=4, ptr="p", is_write=True),
+            ]),
+        ])
+        report = detect_false_sharing(bound, num_threads=2)
+        assert not report.exact
+        aos = bound.bindings.backing_arrays("S")[0]
+        assert report.covers(aos.base >> 6)
+
+    def test_serial_ptr_access_stays_exact(self):
+        bound = build([
+            AddrOf(line=2, dest="p", array="S", field="v", index=Const(0)),
+            PtrAccess(line=3, ptr="p", is_write=True),
+        ])
+        report = detect_false_sharing(bound, num_threads=2)
+        assert report.exact
+        assert report.coarse_spans == ()
+
+
+class TestOracle:
+    def test_mesi_invalidations_are_covered(self):
+        oracle = cross_validate_false_sharing(
+            interleaved_writes(), num_threads=2,
+            config=HierarchyConfig.small(),
+        )
+        assert oracle.ok
+        assert sum(oracle.dynamic_lines.values()) > 0
+        assert oracle.coverage == 1.0
+        assert "OK" in oracle.render()
+
+    def test_single_thread_has_no_invalidations(self):
+        oracle = cross_validate_false_sharing(
+            interleaved_writes(), num_threads=1,
+            config=HierarchyConfig.small(),
+        )
+        assert oracle.ok
+        assert oracle.dynamic_lines == {}

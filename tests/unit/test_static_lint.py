@@ -187,6 +187,55 @@ class TestSuppressions:
                               suppressions=(supp,))
         assert [f.rule for f in report.findings] == ["dead-field"]
 
+    def build_with_two_escape_sites(self):
+        from repro.program import AddrOf, Call, Const, PtrAccess
+
+        builder = WorkloadBuilder("lintcase")
+        builder.add_aos(PAIR, 64, name="A", call_path=("main",))
+        main = Function("main", [
+            AddrOf(line=2, dest="p", array="A", field="x", index=Const(0)),
+            Call(line=3, callee="sink", args=("p",)),
+            AddrOf(line=4, dest="q", array="A", field="x", index=Const(1)),
+            Call(line=5, callee="sink", args=("q",)),
+        ])
+        sink = Function("sink", [PtrAccess(line=11, ptr="p", size=4),
+                                 PtrAccess(line=12, ptr="q", size=4)],
+                        line=10)
+        return builder.build([main, sink])
+
+    def test_location_pins_suppression_to_one_site(self):
+        # A suppression written for the main:3 escape must NOT hide the
+        # new escape of the same subject at main:5.
+        supp = Suppression("addr-escape", "A.x", "first escape is known",
+                           location="main:3")
+        report = lint_program(self.build_with_two_escape_sites(),
+                              suppressions=(supp,))
+        escapes = [f for f in report.findings if f.rule == "addr-escape"]
+        assert [f.line for f in escapes] == [5]
+        assert [f.line for f, _ in report.suppressed] == [3]
+
+    def test_default_location_matches_any_site(self):
+        supp = Suppression("addr-escape", "A.x", "all escapes acknowledged")
+        report = lint_program(self.build_with_two_escape_sites(),
+                              suppressions=(supp,))
+        assert "addr-escape" not in rules_of(report)
+        assert len(report.suppressed) == 2
+
+    def test_location_glob(self):
+        supp = Suppression("addr-escape", "A.x", "everything in main",
+                           location="main:*")
+        report = lint_program(self.build_with_two_escape_sites(),
+                              suppressions=(supp,))
+        assert "addr-escape" not in rules_of(report)
+
+    def test_wrong_location_does_not_suppress(self):
+        supp = Suppression("addr-escape", "A.x", "somewhere else",
+                           location="helper:3")
+        report = lint_program(self.build_with_two_escape_sites(),
+                              suppressions=(supp,))
+        escapes = [f for f in report.findings if f.rule == "addr-escape"]
+        assert len(escapes) == 2
+
 
 class TestBundledWorkloads:
     @pytest.mark.parametrize("name", [

@@ -1,0 +1,204 @@
+"""Unit tests for the split-safety verifier (static/safety.py)."""
+
+from repro.layout import INT, StructType
+from repro.program import (
+    Access,
+    AddrOf,
+    Call,
+    Const,
+    Function,
+    Loop,
+    PtrAccess,
+    WorkloadBuilder,
+    affine,
+)
+from repro.static import (
+    SAFE,
+    UNKNOWN,
+    UNSAFE,
+    AnalysisContext,
+    collect_hazards,
+    verify_split_safety,
+)
+
+PAIR = StructType("pair", [("a", INT), ("b", INT)])
+
+
+def build(body, *, extra_functions=(), extra_arrays=(), alias=None):
+    builder = WorkloadBuilder("safety")
+    aos = builder.add_aos(PAIR, 16, name="A")
+    for name in extra_arrays:
+        builder.add_aos(PAIR, 16, name=name)
+    if alias:
+        name, field = alias
+        builder.bindings.bind_alias(name, aos, field)
+    functions = [Function("main", body, line=1)] + list(extra_functions)
+    return builder.build(functions)
+
+
+def hazard_kinds(bound):
+    return {h.kind for h in collect_hazards(AnalysisContext(bound))}
+
+
+class TestHazardKinds:
+    def test_clean_loop_is_safe(self):
+        bound = build([
+            Loop(line=2, var="i", start=0, stop=16, body=[
+                Access(line=3, array="A", field="a", index=affine("i")),
+            ]),
+        ])
+        report = verify_split_safety(bound)
+        assert report.all_safe
+        assert report.verdict_for("A").status == SAFE
+        assert report.verdict_for("A").reason == "no hazards found"
+
+    def test_addr_escape(self):
+        helper = Function("helper", [PtrAccess(line=11, ptr="p")], line=10)
+        bound = build([
+            AddrOf(line=2, dest="p", array="A", field="a", index=Const(0)),
+            Call(line=3, callee="helper", args=("p",)),
+        ], extra_functions=[helper])
+        assert "addr-escape" in hazard_kinds(bound)
+        verdict = verify_split_safety(bound).verdict_for("A")
+        assert verdict.status == UNSAFE
+        assert "escapes into helper()" in verdict.reason
+        assert verdict.site == "main:3"
+
+    def test_whole_record_ptr(self):
+        bound = build([
+            AddrOf(line=2, dest="p", array="A", field=None, index=Const(0)),
+            PtrAccess(line=3, ptr="p", offset=4, size=4),
+        ])
+        assert "whole-record-ptr" in hazard_kinds(bound)
+        assert verify_split_safety(bound).verdict_for("A").status == UNSAFE
+
+    def test_cross_field_ptr(self):
+        bound = build([
+            AddrOf(line=2, dest="p", array="A", field="a", index=Const(0)),
+            PtrAccess(line=3, ptr="p", offset=2, size=4),  # walks into b
+        ])
+        hazards = collect_hazards(AnalysisContext(bound))
+        (hazard,) = [h for h in hazards if h.kind == "cross-field-ptr"]
+        assert hazard.array == "A"
+        assert set(hazard.fields) == {"a", "b"}
+        assert hazard.site == "main:3"
+
+    def test_within_field_ptr_is_benign(self):
+        bound = build([
+            AddrOf(line=2, dest="p", array="A", field="a", index=Const(0)),
+            PtrAccess(line=3, ptr="p", offset=0, size=4),
+        ])
+        assert hazard_kinds(bound) == set()
+        assert verify_split_safety(bound).all_safe
+
+    def test_ptr_undefined_degrades_every_array(self):
+        bound = build([
+            PtrAccess(line=2, ptr="q"),
+        ], extra_arrays=("B",))
+        assert "ptr-undefined" in hazard_kinds(bound)
+        report = verify_split_safety(bound)
+        assert report.verdict_for("A").status == UNKNOWN
+        assert report.verdict_for("B").status == UNKNOWN
+
+    def test_aliased_overlapping_views_unsafe(self):
+        bound = build([
+            Loop(line=2, var="i", start=0, stop=16, body=[
+                Access(line=3, array="A", field="a", index=affine("i")),
+                Access(line=4, array="A2", field=None, index=affine("i")),
+            ]),
+        ], alias=("A2", "a"))
+        report = verify_split_safety(bound)
+        assert report.verdict_for("A").status == UNSAFE
+        assert report.verdict_for("A2").status == UNSAFE
+        assert "overlapping views" in report.verdict_for("A").reason
+
+    def test_disjoint_field_aliases_stay_safe(self):
+        # The regrouping transform's shape: two names bound to
+        # *different* fields of one allocation never collide.
+        bound = build([
+            Loop(line=2, var="i", start=0, stop=16, body=[
+                Access(line=3, array="A", field="b", index=affine("i")),
+                Access(line=4, array="A2", field=None, index=affine("i")),
+            ]),
+        ], alias=("A2", "a"))
+        assert verify_split_safety(bound).all_safe
+
+
+class TestInterprocedural:
+    def test_pointer_tracked_through_call(self):
+        # The escape is flagged at the call; the callee's in-bounds use
+        # of the passed pointer must NOT add a ptr-undefined hazard.
+        helper = Function("helper", [
+            PtrAccess(line=11, ptr="p", offset=0, size=4),
+        ], line=10)
+        bound = build([
+            AddrOf(line=2, dest="p", array="A", field="a", index=Const(0)),
+            Call(line=3, callee="helper", args=("p",)),
+        ], extra_functions=[helper])
+        kinds = hazard_kinds(bound)
+        assert "addr-escape" in kinds
+        assert "ptr-undefined" not in kinds
+
+    def test_cross_field_deref_in_callee_attributed_there(self):
+        helper = Function("helper", [
+            PtrAccess(line=11, ptr="p", offset=2, size=4),
+        ], line=10)
+        bound = build([
+            AddrOf(line=2, dest="p", array="A", field="a", index=Const(0)),
+            Call(line=3, callee="helper", args=("p",)),
+        ], extra_functions=[helper])
+        hazards = collect_hazards(AnalysisContext(bound))
+        (hazard,) = [h for h in hazards if h.kind == "cross-field-ptr"]
+        assert hazard.function == "helper"
+        assert hazard.line == 11
+
+    def test_unpassed_pointer_is_undefined_in_callee(self):
+        helper = Function("helper", [PtrAccess(line=11, ptr="p")], line=10)
+        bound = build([
+            AddrOf(line=2, dest="p", array="A", field="a", index=Const(0)),
+            Call(line=3, callee="helper"),  # no args: p does not flow
+        ], extra_functions=[helper])
+        assert "ptr-undefined" in hazard_kinds(bound)
+
+
+class TestVerdicts:
+    def test_unsafe_outranks_unknown(self):
+        helper = Function("helper", [PtrAccess(line=11, ptr="p")], line=10)
+        bound = build([
+            PtrAccess(line=2, ptr="q"),  # UNKNOWN on every array
+            AddrOf(line=3, dest="p", array="A", field="a", index=Const(0)),
+            Call(line=4, callee="helper", args=("p",)),  # UNSAFE on A
+        ], extra_functions=[helper])
+        report = verify_split_safety(bound)
+        verdict = report.verdict_for("A")
+        assert verdict.status == UNSAFE
+        # reason/site track the hazard matching the final status.
+        assert "escapes" in verdict.reason
+        assert verdict.site == "main:4"
+
+    def test_absint_failure_degrades_to_unknown(self):
+        bound = build([
+            Access(line=2, array="A", field="a", index=affine("z")),
+        ])
+        report = verify_split_safety(bound)
+        verdict = report.verdict_for("A")
+        assert verdict.status == UNKNOWN
+        assert "static analysis failed" in verdict.reason
+
+    def test_arrays_filter_restricts_verdicts(self):
+        bound = build([
+            Loop(line=2, var="i", start=0, stop=16, body=[
+                Access(line=3, array="A", field="a", index=affine("i")),
+            ]),
+        ], extra_arrays=("B",))
+        report = verify_split_safety(bound, ["A"])
+        assert set(report.verdicts) == {"A"}
+
+    def test_report_render_mentions_every_array(self):
+        bound = build([
+            AddrOf(line=2, dest="p", array="A", field=None, index=Const(0)),
+            PtrAccess(line=3, ptr="p"),
+        ])
+        text = verify_split_safety(bound).render()
+        assert "A: UNSAFE" in text
+        assert "whole-record-ptr at main:3" in text
