@@ -1,18 +1,22 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-baseline perf-smoke lint
+.PHONY: test bench bench-quick bench-trend bench-baseline perf-smoke lint
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-# Full-scale engine benchmark; writes BENCH_<stamp>.json in the repo
-# root (commit it to record the performance trajectory).
+# Full-scale engine benchmark; appends a content-addressed snapshot to
+# benchmarks/history/ (commit it to record the performance trajectory;
+# `repro bench --trend` renders the trajectory).
 bench:
 	$(PYTHON) -m repro bench
 
 bench-quick:
 	$(PYTHON) -m repro bench --quick
+
+bench-trend:
+	$(PYTHON) -m repro bench --trend
 
 # Refresh the CI perf-smoke baseline. Run on the machine class CI
 # uses, then commit benchmarks/baseline_bench.json with a note on why

@@ -15,6 +15,9 @@ paper's artifacts:
     python -m repro trace art                 # telemetry: Perfetto trace
     python -m repro stats [workload]          # telemetry: metrics snapshot
     python -m repro bench [--quick]           # scalar vs batched engine bench
+    python -m repro bench --trend             # throughput trajectory table
+    python -m repro attribute BASE HEAD       # per-stage regression ranking
+    python -m repro dash dash.html            # static HTML dashboard
     python -m repro lint all --format json    # machine-readable lint report
     python -m repro verify                    # split-safety + false-sharing
                                               # oracle across the zoo
@@ -23,8 +26,20 @@ paper's artifacts:
 ``analyze``, ``optimize``, and ``table3`` accept ``--engine
 {scalar,batched}`` (default batched: the columnar fast path, byte-
 identical results — see docs/performance.md); ``bench`` times both
-engines and writes a ``BENCH_<stamp>.json`` snapshot, with ``--check
-BASELINE`` as the CI perf-smoke regression gate.
+engines and appends the snapshot to the content-addressed history
+store (``benchmarks/history/``, see ``--history``; ``--out`` still
+writes the raw payload), with ``--check BASELINE`` as the CI
+perf-smoke regression gate — its failure message includes the
+per-stage attribution ``attribute`` prints standalone.
+
+Long-running commands (``analyze``, ``optimize``, ``table3``,
+``bench``, ``overhead``, ``sensitivity``, ``summary``) run under a
+live event bus (see docs/observability.md): progress and rate/ETA
+lines on stderr (``--quiet`` silences them and restores the inert
+``NULL_BUS`` path), ``--live FILE`` streams every event as tail-able
+JSONL, ``--deadline SECONDS`` kills a hung run with exit 124, and a
+flight recorder dumps the last events to ``telemetry/flightrec.json``
+(``--flightrec`` overrides) on crash, SIGTERM, or deadline.
 
 ``analyze``, ``optimize``, and ``table3`` additionally accept
 ``--telemetry DIR`` (export spans/metrics for the run) and — for
@@ -68,6 +83,32 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
                              "instantly with identical output")
 
 
+def _add_observability_args(parser: argparse.ArgumentParser) -> None:
+    """The live-bus knobs shared by the long-running commands.
+
+    By default these commands run with a live event bus: a progress
+    reporter on stderr (rate/ETA) and a flight recorder that dumps the
+    recent event ring to ``telemetry/flightrec.json`` on crash,
+    SIGTERM, or ``--deadline`` expiry.  ``--quiet`` disables the bus
+    entirely (the zero-cost path — stdout is byte-identical either
+    way, stderr goes silent).
+    """
+    parser.add_argument("--quiet", action="store_true",
+                        help="no live event bus: silence stderr progress "
+                             "and runner-stats lines (stdout is identical)")
+    parser.add_argument("--live", metavar="FILE", default=None,
+                        help="append every live event to FILE as JSONL "
+                             "(tail-able while the run is in flight)")
+    parser.add_argument("--deadline", type=float, metavar="SECONDS",
+                        default=None,
+                        help="abort (exit 124) after SECONDS, dumping the "
+                             "flight recorder — the CI hang-killer")
+    parser.add_argument("--flightrec", metavar="FILE", default=None,
+                        help="flight-recorder dump path (default: "
+                             "telemetry/flightrec.json; written only on "
+                             "crash, SIGTERM, or deadline)")
+
+
 def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
     """``--engine``: trace execution mode (results identical either way)."""
     parser.add_argument("--engine", choices=["scalar", "batched"],
@@ -101,6 +142,7 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--telemetry", metavar="DIR", default=None,
                        help="record spans/metrics and export them to DIR")
         _add_engine_arg(p)
+        _add_observability_args(p)
         if name == "optimize":
             _add_runner_args(p)
             p.add_argument("--verify", action="store_true",
@@ -157,24 +199,69 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="print machine-readable JSON instead of the tables")
     _add_engine_arg(p)
     _add_runner_args(p)
+    _add_observability_args(p)
 
     p = sub.add_parser(
         "bench",
-        help="benchmark the scalar vs batched engines and write "
-             "BENCH_<stamp>.json (per-layer accesses/sec, end-to-end "
-             "wall time, speedup)",
+        help="benchmark the scalar vs batched engines; snapshots append "
+             "to the content-addressed history store (per-layer "
+             "accesses/sec, end-to-end wall time, speedup)",
     )
     p.add_argument("--quick", action="store_true",
                    help="smaller trace, fewer repeats (CI perf-smoke)")
     p.add_argument("--out", type=str, default=None,
-                   help="output path (default: BENCH_<stamp>.json in cwd)")
+                   help="also write the raw BENCH snapshot to this path "
+                        "(default: history store only)")
+    p.add_argument("--history", metavar="DIR",
+                   default="benchmarks/history",
+                   help="history store directory the snapshot entry is "
+                        "appended to (default: benchmarks/history)")
+    p.add_argument("--trend", action="store_true",
+                   help="render the stored performance trajectory "
+                        "(sparkline + per-stage table) and exit without "
+                        "benchmarking; also ingests legacy root-level "
+                        "BENCH_*.json snapshots")
     p.add_argument("--check", metavar="BASELINE", default=None,
                    help="compare against a baseline BENCH json; exit 1 if "
                         "batched end-to-end throughput regressed beyond "
-                        "--tolerance")
+                        "--tolerance (failures include per-stage "
+                        "attribution)")
     p.add_argument("--tolerance", type=float, default=0.25,
                    help="allowed fractional throughput regression for "
                         "--check (default: 0.25)")
+    _add_observability_args(p)
+
+    p = sub.add_parser(
+        "attribute",
+        help="rank pipeline stages by wall-time delta between two bench "
+             "runs (history entry ids or BENCH/entry json paths) — the "
+             "'which stage regressed' answer behind perf-smoke failures",
+    )
+    p.add_argument("base", help="baseline: entry id prefix or json path")
+    p.add_argument("head", help="candidate: entry id prefix or json path")
+    p.add_argument("--history", metavar="DIR",
+                   default="benchmarks/history",
+                   help="history store ids are resolved against "
+                        "(default: benchmarks/history)")
+    p.add_argument("--engine", choices=["scalar", "batched"],
+                   default="batched",
+                   help="which engine's stage timings to attribute")
+
+    p = sub.add_parser(
+        "dash",
+        help="write a self-contained static HTML dashboard (no server): "
+             "bench trend, latest span flame view, overhead "
+             "decomposition, cache-hit rates",
+    )
+    p.add_argument("out", help="output HTML path, e.g. dash.html")
+    p.add_argument("--history", metavar="DIR",
+                   default="benchmarks/history",
+                   help="bench history store to chart "
+                        "(default: benchmarks/history)")
+    p.add_argument("--telemetry", metavar="DIR", default=None,
+                   help="a directory written by --telemetry/`repro trace` "
+                        "whose spans, metrics, and overhead accounts "
+                        "feed the flame view and rate panels")
 
     p = sub.add_parser(
         "trace",
@@ -209,6 +296,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("overhead", help="regenerate Figure 4 or 5")
     p.add_argument("suite", choices=["rodinia", "spec"])
     _add_runner_args(p)
+    _add_observability_args(p)
 
     p = sub.add_parser("accuracy", help="regenerate the Eq 4 study")
     p.add_argument("--trials", type=int, default=1000)
@@ -225,12 +313,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--periods", type=int, nargs="+",
                    default=[127, 509, 2003, 8009, 32003])
     _add_runner_args(p)
+    _add_observability_args(p)
 
     p = sub.add_parser("summary", help="regenerate the complete evaluation")
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--no-suites", action="store_true",
                    help="skip the Figure 4/5 suite sweeps")
     _add_runner_args(p)
+    _add_observability_args(p)
     return parser
 
 
@@ -290,6 +380,48 @@ def _telemetry_scope(args, out):
           file=destination)
 
 
+@contextmanager
+def _live_scope(args):
+    """Install the live event bus for one command, when wanted.
+
+    The bus is on by default for every command that grew the
+    observability flags: a stderr :class:`ProgressReporter`, an
+    optional ``--live`` JSONL stream, and a :class:`FlightRecorder`
+    whose ring buffer is dumped only on crash, SIGTERM, or
+    ``--deadline`` expiry.  ``--quiet`` (without ``--live`` or
+    ``--deadline``) skips all of it — the ambient bus stays
+    ``NULL_BUS`` and every instrumented call site costs one falsy
+    check, the same zero-cost contract as ``NULL_TRACER``.
+    """
+    from .telemetry import events, live
+
+    observed = hasattr(args, "quiet")
+    quiet = getattr(args, "quiet", False)
+    stream_path = getattr(args, "live", None)
+    deadline = getattr(args, "deadline", None)
+    if not observed or (quiet and not stream_path and deadline is None):
+        yield None
+        return
+    bus = events.EventBus()
+    if not quiet:
+        bus.subscribe(live.ProgressReporter(sys.stderr))
+    writer = None
+    if stream_path:
+        writer = live.JsonlStreamWriter(stream_path)
+        bus.subscribe(writer)
+    recorder = live.FlightRecorder()
+    bus.subscribe(recorder)
+    flight_path = getattr(args, "flightrec", None) or live.FLIGHT_PATH
+    try:
+        with events.use(bus), live.crash_dump_scope(
+            recorder, flight_path, deadline=deadline
+        ):
+            yield bus
+    finally:
+        if writer is not None:
+            writer.close()
+
+
 def _runner_stats(args):
     """A RunnerStats to accumulate into, when the runner is in play."""
     if getattr(args, "jobs", 1) > 1 or getattr(args, "cache", None):
@@ -299,14 +431,26 @@ def _runner_stats(args):
     return None
 
 
-def _print_runner_stats(stats) -> None:
+def _print_runner_stats(stats, args=None) -> None:
     """One stderr line with the runner's hit/miss/execution counts.
 
     stderr so machine-readable stdout (``--json``) stays clean and cold
     vs warm runs diff clean; CI greps this line to prove a warm cache
-    re-run executed nothing.
+    re-run executed nothing.  The line also rides the event bus (for
+    the JSONL stream / flight recorder) and honors ``--quiet``.
     """
-    if stats is not None:
+    if stats is None:
+        return
+    from .telemetry import events
+
+    bus = events.bus()
+    if bus.active:
+        # The ProgressReporter subscriber relays the summary to stderr.
+        bus.publish("task-finish", kind="runner-stats",
+                    summary=stats.describe(), tasks=stats.tasks,
+                    hits=stats.cache_hits, misses=stats.cache_misses,
+                    executed=stats.executed)
+    elif not getattr(args, "quiet", False):
         print(stats.describe(), file=sys.stderr)
 
 
@@ -549,7 +693,7 @@ def _cmd_optimize_via_runner(args, out) -> int:
     with _telemetry_scope(args, out):
         (record,) = run_tasks([spec], jobs=args.jobs, cache=args.cache,
                               stats=stats)
-    _print_runner_stats(stats)
+    _print_runner_stats(stats, args)
     print(record["report"], file=out)
     if not record["advice"]:
         print("\nno split recommended", file=out)
@@ -586,7 +730,7 @@ def _cmd_table3(args, out) -> int:
         results = run_all(scale=args.scale, jobs=args.jobs,
                           cache=args.cache, runner_stats=stats,
                           engine=getattr(args, "engine", "batched"))
-    _print_runner_stats(stats)
+    _print_runner_stats(stats, args)
     if getattr(args, "json", False):
         _print_json(results_json(results), out)
         return 0
@@ -598,11 +742,20 @@ def _cmd_table3(args, out) -> int:
 
 def _cmd_bench(args, out) -> int:
     from .experiments.bench import run_bench, check_regression, write_bench
+    from .telemetry import history
 
-    result = run_bench(quick=args.quick,
-                       progress=lambda m: print(m, file=sys.stderr))
-    path = write_bench(result, args.out)
-    print(f"wrote {path}", file=out)
+    if args.trend:
+        entries = history.load_history(args.history)
+        print(history.render_trend(entries, history_dir=args.history),
+              file=out)
+        return 0
+    result = run_bench(quick=args.quick)
+    path, entry = history.record_entry(
+        args.history, result, sha=history.git_sha()
+    )
+    print(f"recorded history entry {entry['id']}: {path}", file=out)
+    if args.out:
+        print(f"wrote {write_bench(result, args.out)}", file=out)
     summary = result["end_to_end"]
     print(
         f"end-to-end: scalar {summary['scalar']['accesses_per_sec']:,.0f} acc/s, "
@@ -615,6 +768,34 @@ def _cmd_bench(args, out) -> int:
         print(message, file=out)
         if not ok:
             return 1
+    return 0
+
+
+def _cmd_attribute(args, out) -> int:
+    from .telemetry import history
+
+    try:
+        base = history.load_ref(args.base, args.history)
+        head = history.load_ref(args.head, args.history)
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=out)
+        return 2
+    attribution = history.attribute(base, head, engine=args.engine)
+    print(attribution.render(), file=out)
+    dominant = attribution.dominant
+    if dominant is None:
+        print("no stages in common between the two runs", file=out)
+        return 2
+    return 0
+
+
+def _cmd_dash(args, out) -> int:
+    from .telemetry import history
+    from .telemetry.dash import write_dash
+
+    entries = history.load_history(args.history)
+    path = write_dash(args.out, entries, telemetry_dir=args.telemetry)
+    print(f"wrote {path} ({len(entries)} history entries)", file=out)
     return 0
 
 
@@ -691,7 +872,7 @@ def _cmd_overhead(args, out) -> int:
     stats = _runner_stats(args)
     result = run_suite_overheads(args.suite, jobs=args.jobs,
                                  cache=args.cache, runner_stats=stats)
-    _print_runner_stats(stats)
+    _print_runner_stats(stats, args)
     print(result.chart(), file=out)
     return 0
 
@@ -722,7 +903,7 @@ def _cmd_sensitivity(args, out) -> int:
     workload = TABLE2_WORKLOADS[args.workload](scale=args.scale)
     points = sweep_sampling_period(workload, args.periods, jobs=args.jobs,
                                    cache=args.cache, runner_stats=stats)
-    _print_runner_stats(stats)
+    _print_runner_stats(stats, args)
     print(sensitivity_table(workload.name, points).render(), file=out)
     return 0
 
@@ -739,7 +920,7 @@ def _cmd_summary(args, out) -> int:
         cache=args.cache,
         runner_stats=stats,
     )
-    _print_runner_stats(stats)
+    _print_runner_stats(stats, args)
     print(file=out)
     print(report.render(), file=out)
     return 0
@@ -754,6 +935,8 @@ _COMMANDS = {
     "regroup": _cmd_regroup,
     "table3": _cmd_table3,
     "bench": _cmd_bench,
+    "attribute": _cmd_attribute,
+    "dash": _cmd_dash,
     "trace": _cmd_trace,
     "stats": _cmd_stats,
     "art": _cmd_art,
@@ -768,7 +951,8 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     args = _build_parser().parse_args(argv)
     try:
-        return _COMMANDS[args.command](args, out or sys.stdout)
+        with _live_scope(args):
+            return _COMMANDS[args.command](args, out or sys.stdout)
     except BrokenPipeError:
         # Output was piped into something like `head`; not an error.
         return 0

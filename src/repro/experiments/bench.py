@@ -27,6 +27,7 @@ from ..memsim.hierarchy import HierarchyConfig, MemoryHierarchy
 from ..program.batch import AccessBatch
 from ..program.interp import Interpreter
 from ..sampling.pebs import PEBSLoadLatencySampler
+from ..telemetry import events
 from ..workloads.art import ArtWorkload
 
 #: Bump when the JSON layout changes incompatibly.
@@ -72,7 +73,14 @@ def run_bench(
     progress: Optional[Callable[[str], None]] = None,
 ) -> Dict[str, object]:
     """Measure both engines and return the BENCH json payload."""
-    say = progress or (lambda message: None)
+    bus = events.bus()
+
+    def say(message: str) -> None:
+        if progress is not None:
+            progress(message)
+        if bus.active:
+            bus.publish("stage-progress", stage="bench", message=message)
+
     scale = QUICK_SCALE if quick else FULL_SCALE
     repeats = QUICK_REPEATS if quick else FULL_REPEATS
     workload = ArtWorkload(scale=scale)
@@ -230,4 +238,13 @@ def check_regression(
     )
     if not ok:
         message += " — REGRESSION"
+        # Name the guilty stage: per-stage wall-time attribution of
+        # baseline -> current, so CI failures say *what* regressed.
+        if baseline.get("layers") and result.get("layers"):
+            from ..telemetry import history
+
+            attribution = history.attribute(
+                history.make_entry(baseline), history.make_entry(result)
+            )
+            message += "\n" + attribution.render()
     return ok, message

@@ -15,11 +15,16 @@ from .._compat import slotted_dataclass
 
 from ..program.batch import AccessBatch
 from ..program.trace import ComputeBurst, MemoryAccess, TraceItem
+from ..telemetry import events
 from .hierarchy import HierarchyConfig, MemoryHierarchy
 from .stats import RunMetrics
 
 #: An observer receives (access, latency_cycles) for every access.
 Observer = Callable[[MemoryAccess, float], None]
+
+#: Accesses between ``stage-progress`` publications when a live event
+#: bus is attached; coarse enough that the hot loop never feels it.
+PROGRESS_EVERY = 1 << 17
 
 
 @slotted_dataclass(frozen=True)
@@ -78,6 +83,9 @@ def simulate(
 
     hier_access = hier.access  # local binding for the hot loop
     hier_batch = hier.access_batch if hier.supports_batch else None
+    bus = events.bus()
+    # 0 disables the per-item progress check with a single falsy test.
+    progress_mark = PROGRESS_EVERY if bus.active else 0
     # A plain CostModel's stall() can be inlined per latency; a subclass
     # with its own arithmetic is called per latency instead.
     inline_stall = type(cost) is CostModel
@@ -100,6 +108,10 @@ def simulate(
                 max_thread = item.thread
             if observer is not None:
                 observer(item, latency)
+            if progress_mark and accesses >= progress_mark:
+                progress_mark = accesses + PROGRESS_EVERY
+                bus.publish("stage-progress", stage="simulate",
+                            done=accesses, unit="accesses")
         elif isinstance(item, ComputeBurst):
             compute += item.cycles
         elif isinstance(item, AccessBatch):
@@ -119,6 +131,10 @@ def simulate(
                         max_thread = access.thread
                     if observer is not None:
                         observer(access, latency)
+                if progress_mark and accesses >= progress_mark:
+                    progress_mark = accesses + PROGRESS_EVERY
+                    bus.publish("stage-progress", stage="simulate",
+                                done=accesses, unit="accesses")
                 continue
             latencies = hier_batch(item.address, item.size)
             accesses += item.length
@@ -139,6 +155,10 @@ def simulate(
             elif observer is not None:
                 for access, latency in zip(item, latencies):
                     observer(access, latency)
+            if progress_mark and accesses >= progress_mark:
+                progress_mark = accesses + PROGRESS_EVERY
+                bus.publish("stage-progress", stage="simulate",
+                            done=accesses, unit="accesses")
         else:
             raise TypeError(f"unexpected trace item {type(item).__name__}")
 

@@ -234,6 +234,10 @@ class Monitor:
                 help="branching factor of the reduction-tree merge",
             ).set(merge_stats.fan_in)
             telemetry.record_overhead(account)
+            telemetry.publish_metric_deltas(
+                metrics_registry, telemetry.events.bus(),
+                workload=bound.name, variant=bound.variant,
+            )
 
         return ProfiledRun(
             workload=bound.name,
@@ -283,5 +287,10 @@ class Monitor:
             )
             span.set(accesses=metrics.accesses, cycles=metrics.cycles)
         if telemetry.enabled():
-            hierarchy.export_metrics(telemetry.metrics_registry())
+            registry = telemetry.metrics_registry()
+            hierarchy.export_metrics(registry)
+            telemetry.publish_metric_deltas(
+                registry, telemetry.events.bus(),
+                workload=bound.name, variant=bound.variant,
+            )
         return metrics

@@ -1,0 +1,806 @@
+"""``repro dash``: a self-contained static HTML performance dashboard.
+
+One file, no server, no external assets: :func:`write_dash` renders the
+bench history store (see :mod:`repro.telemetry.history`) plus an
+optional telemetry export directory (``trace.json`` / ``metrics.prom``
+/ ``overhead.json``, as written by :func:`repro.telemetry.export.
+write_telemetry`) into inline SVG panels:
+
+- stat tiles — latest batched end-to-end throughput with a delta vs
+  the previous snapshot, batched-vs-scalar speedup, monitoring
+  overhead, per-level cache hit-rate meters;
+- throughput trend — a line chart over the history store, with a
+  table view of the same rows;
+- per-stage wall time — stacked columns (interpret / simulate /
+  sample, batched engine) per snapshot;
+- span flame view — the latest trace's span forest on a time axis;
+- overhead decomposition — the three self-overhead components.
+
+The page embeds a JSON data island (``id="repro-dash-data"``) carrying
+the latest history entry id, which CI's dash smoke step asserts on.
+Everything is rendered at generation time; the only script in the page
+is theme toggling and hover tooltips.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .history import STAGES
+
+PathLike = Union[str, Path]
+
+#: Most recent history entries charted (older rows stay in the table).
+MAX_TREND_POINTS = 40
+
+#: Flame view caps: rows below this depth / rects beyond this count are
+#: summarized in the panel note rather than silently dropped.
+MAX_FLAME_DEPTH = 8
+MAX_FLAME_RECTS = 400
+
+_STAGE_LABELS = {"interpret": "interpret", "simulate": "simulate",
+                 "sample": "sample"}
+
+_COMPONENT_LABELS = {
+    "interrupt_service": "interrupt service",
+    "online_analysis": "online analysis",
+    "collection": "collection",
+}
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _compact(value: float) -> str:
+    """1,284 / 12.9K / 4.2M — stat-tile style compact figures."""
+    for threshold, suffix in ((1e9, "B"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:,.2f}{suffix}".replace(".00", "")
+    if value == int(value):
+        return f"{int(value):,}"
+    return f"{value:,.2f}"
+
+
+def _stamp_label(stamp: str) -> str:
+    """``20260806T045038`` -> ``08-06 04:50`` (best effort)."""
+    match = re.match(r"^(\d{4})(\d{2})(\d{2})T(\d{2})(\d{2})", str(stamp))
+    if not match:
+        return str(stamp)
+    _, month, day, hour, minute = match.groups()
+    return f"{month}-{day} {hour}:{minute}"
+
+
+def _nice_ticks(top: float, count: int = 4) -> List[float]:
+    """Clean round tick values from 0 up to at least ``top``."""
+    if top <= 0:
+        return [0.0, 1.0]
+    raw = top / count
+    magnitude = 10 ** len(str(int(raw))) / 10 if raw >= 1 else 1.0
+    for mult in (1, 2, 2.5, 5, 10):
+        step = magnitude * mult
+        if step * count >= top:
+            break
+    ticks = [step * i for i in range(count + 1)]
+    while ticks[-1] < top:
+        ticks.append(ticks[-1] + step)
+    return ticks
+
+
+# -- telemetry-directory loaders -------------------------------------------
+
+
+def _load_json(path: Path):
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def _load_spans(telemetry_dir: Optional[PathLike]) -> List[dict]:
+    """Complete (``"X"``) events from ``trace.json``, depth annotated.
+
+    Depth is reconstructed from interval containment: the exporter
+    emits spans in walk order with microsecond ``ts``/``dur``.
+    """
+    if telemetry_dir is None:
+        return []
+    doc = _load_json(Path(telemetry_dir) / "trace.json")
+    if not isinstance(doc, dict):
+        return []
+    events = [
+        e for e in doc.get("traceEvents", [])
+        if e.get("ph") == "X" and isinstance(e.get("dur"), (int, float))
+    ]
+    events.sort(key=lambda e: (e.get("ts", 0.0), -e.get("dur", 0.0)))
+    stack: List[float] = []  # end timestamps of open ancestors
+    spans: List[dict] = []
+    for event in events:
+        ts = float(event.get("ts", 0.0))
+        end = ts + float(event["dur"])
+        while stack and ts >= stack[-1] - 1e-9:
+            stack.pop()
+        spans.append({
+            "name": str(event.get("name", "?")),
+            "ts": ts,
+            "dur": float(event["dur"]),
+            "depth": len(stack),
+        })
+        stack.append(end)
+    return spans
+
+
+def _load_overhead(telemetry_dir: Optional[PathLike]) -> Optional[dict]:
+    """The last overhead account in ``overhead.json``, if any."""
+    if telemetry_dir is None:
+        return None
+    doc = _load_json(Path(telemetry_dir) / "overhead.json")
+    if isinstance(doc, list) and doc and isinstance(doc[-1], dict):
+        return doc[-1]
+    return None
+
+
+def _load_cache_rates(
+    telemetry_dir: Optional[PathLike],
+) -> Dict[str, Tuple[float, float]]:
+    """``{level: (hits, misses)}`` parsed from ``metrics.prom``."""
+    if telemetry_dir is None:
+        return {}
+    path = Path(telemetry_dir) / "metrics.prom"
+    try:
+        text = path.read_text()
+    except OSError:
+        return {}
+    rates: Dict[str, List[float]] = {}
+    pattern = re.compile(
+        r'^repro_memsim_cache_(hits|misses)_total\{[^}]*'
+        r'level="([^"]+)"[^}]*\}\s+([0-9.eE+-]+)\s*$'
+    )
+    for line in text.splitlines():
+        match = pattern.match(line.strip())
+        if not match:
+            continue
+        kind, level, value = match.groups()
+        slot = rates.setdefault(level, [0.0, 0.0])
+        slot[0 if kind == "hits" else 1] += float(value)
+    return {level: (hits, misses)
+            for level, (hits, misses) in sorted(rates.items())}
+
+
+# -- history accessors ------------------------------------------------------
+
+
+def _throughput(entry: dict) -> float:
+    try:
+        return float(
+            entry["bench"]["end_to_end"]["batched"]["accesses_per_sec"]
+        )
+    except (KeyError, TypeError, ValueError):
+        return 0.0
+
+
+def _speedup(entry: dict) -> float:
+    try:
+        return float(entry["bench"]["end_to_end"].get("speedup", 0.0))
+    except (KeyError, TypeError, AttributeError):
+        return 0.0
+
+
+def _stage_seconds(entry: dict, stage: str) -> float:
+    try:
+        return float(entry["stages"][stage]["batched"])
+    except (KeyError, TypeError, ValueError):
+        return 0.0
+
+
+# -- SVG panels -------------------------------------------------------------
+
+
+def _bar_path(x: float, y: float, w: float, h: float, r: float) -> str:
+    """Column path: 4px rounded data-end (top), square baseline."""
+    r = min(r, w / 2, h)
+    return (
+        f"M{x:.1f},{y + h:.1f} V{y + r:.1f} "
+        f"Q{x:.1f},{y:.1f} {x + r:.1f},{y:.1f} "
+        f"H{x + w - r:.1f} Q{x + w:.1f},{y:.1f} {x + w:.1f},{y + r:.1f} "
+        f"V{y + h:.1f} Z"
+    )
+
+
+def _trend_svg(entries: Sequence[dict]) -> str:
+    """Single-series line chart: batched end-to-end accesses/sec."""
+    width, height = 920, 260
+    left, right, top, bottom = 70, 20, 16, 36
+    plot_w, plot_h = width - left - right, height - top - bottom
+    values = [_throughput(e) for e in entries]
+    ticks = _nice_ticks(max(values) * 1.05 if values else 1.0)
+    y_top = ticks[-1]
+
+    def sx(i: int) -> float:
+        if len(entries) == 1:
+            return left + plot_w / 2
+        return left + plot_w * i / (len(entries) - 1)
+
+    def sy(v: float) -> float:
+        return top + plot_h * (1 - v / y_top) if y_top else top + plot_h
+
+    parts: List[str] = [
+        f'<svg viewBox="0 0 {width} {height}" role="img" '
+        'aria-label="Batched end-to-end throughput trend" '
+        'class="chart">'
+    ]
+    for tick in ticks:
+        y = sy(tick)
+        parts.append(
+            f'<line class="grid" x1="{left}" y1="{y:.1f}" '
+            f'x2="{width - right}" y2="{y:.1f}"/>'
+        )
+        parts.append(
+            f'<text class="axis" x="{left - 8}" y="{y + 3.5:.1f}" '
+            f'text-anchor="end">{_compact(tick)}</text>'
+        )
+    step = max(1, len(entries) // 8)
+    for i in range(0, len(entries), step):
+        parts.append(
+            f'<text class="axis" x="{sx(i):.1f}" y="{height - 14}" '
+            f'text-anchor="middle">'
+            f'{_esc(_stamp_label(entries[i].get("stamp", "?")))}</text>'
+        )
+    if len(entries) > 1:
+        points = " ".join(f"{sx(i):.1f},{sy(v):.1f}"
+                          for i, v in enumerate(values))
+        parts.append(f'<polyline class="trend-line" points="{points}"/>')
+    for i, (entry, value) in enumerate(zip(entries, values)):
+        tip = (
+            f'{entry.get("id", "?")} · {_stamp_label(entry.get("stamp", "?"))}'
+            f' · {value:,.0f} acc/s'
+            f'{" · quick" if entry.get("quick") else ""}'
+        )
+        parts.append(
+            f'<circle class="marker" cx="{sx(i):.1f}" cy="{sy(value):.1f}" '
+            f'r="4.5" data-tip="{_esc(tip)}"/>'
+        )
+    if values:
+        last_i = len(values) - 1
+        anchor = "end" if len(values) > 1 else "middle"
+        parts.append(
+            f'<text class="direct-label" x="{sx(last_i):.1f}" '
+            f'y="{sy(values[-1]) - 10:.1f}" text-anchor="{anchor}">'
+            f'{_compact(values[-1])} acc/s</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _stages_svg(entries: Sequence[dict]) -> str:
+    """Stacked columns: batched per-stage seconds, 2px surface gaps."""
+    width, height = 920, 240
+    left, right, top, bottom = 70, 20, 16, 36
+    plot_w, plot_h = width - left - right, height - top - bottom
+    gap = 2.0
+    totals = [sum(_stage_seconds(e, s) for s in STAGES) for e in entries]
+    ticks = _nice_ticks(max(totals) * 1.05 if any(totals) else 1.0)
+    y_top = ticks[-1] or 1.0
+    slot = plot_w / max(1, len(entries))
+    bar_w = min(24.0, slot * 0.6)
+
+    parts: List[str] = [
+        f'<svg viewBox="0 0 {width} {height}" role="img" '
+        'aria-label="Per-stage wall time per snapshot" class="chart">'
+    ]
+    for tick in ticks:
+        y = top + plot_h * (1 - tick / y_top)
+        parts.append(
+            f'<line class="grid" x1="{left}" y1="{y:.1f}" '
+            f'x2="{width - right}" y2="{y:.1f}"/>'
+        )
+        parts.append(
+            f'<text class="axis" x="{left - 8}" y="{y + 3.5:.1f}" '
+            f'text-anchor="end">{tick:g}s</text>'
+        )
+    for i, entry in enumerate(entries):
+        x = left + slot * i + (slot - bar_w) / 2
+        y_cursor = top + plot_h  # baseline; stack grows upward
+        for j, stage in enumerate(STAGES):
+            seconds = _stage_seconds(entry, stage)
+            h = plot_h * seconds / y_top
+            if h <= 0:
+                continue
+            topmost = all(
+                _stage_seconds(entry, later) <= 0
+                for later in STAGES[j + 1:]
+            )
+            seg_h = max(0.0, h - (0.0 if j == 0 else gap))
+            y = y_cursor - h + (0.0 if j == 0 else gap)
+            tip = (f'{entry.get("id", "?")} · {stage}: {seconds:.3f}s '
+                   f'(batched)')
+            if topmost:
+                shape = (f'<path class="stage-{stage}" '
+                         f'd="{_bar_path(x, y, bar_w, seg_h, 4)}" ')
+            else:
+                shape = (f'<rect class="stage-{stage}" x="{x:.1f}" '
+                         f'y="{y:.1f}" width="{bar_w:.1f}" '
+                         f'height="{seg_h:.1f}" ')
+            parts.append(shape + f'data-tip="{_esc(tip)}"/>')
+            y_cursor -= h
+        parts.append(
+            f'<text class="axis" x="{x + bar_w / 2:.1f}" '
+            f'y="{height - 14}" text-anchor="middle">'
+            f'{_esc(str(entry.get("id", "?"))[:6])}</text>'
+        )
+    parts.append(
+        f'<line class="baseline" x1="{left}" y1="{top + plot_h:.1f}" '
+        f'x2="{width - right}" y2="{top + plot_h:.1f}"/>'
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _flame_svg(spans: Sequence[dict]) -> Tuple[str, str]:
+    """(svg, note) — the span forest on a time axis, rows by depth."""
+    shown = [s for s in spans if s["depth"] < MAX_FLAME_DEPTH]
+    shown = shown[:MAX_FLAME_RECTS]
+    note = ""
+    if len(shown) < len(spans):
+        note = (f"showing {len(shown)} of {len(spans)} spans "
+                f"(depth ≤ {MAX_FLAME_DEPTH}, first {MAX_FLAME_RECTS})")
+    if not shown:
+        return "", note
+    t0 = min(s["ts"] for s in shown)
+    t1 = max(s["ts"] + s["dur"] for s in shown)
+    total = max(t1 - t0, 1e-9)
+    depth_max = max(s["depth"] for s in shown)
+    width = 920
+    row_h, row_gap = 22, 2
+    top, bottom, left, right = 8, 26, 8, 8
+    height = top + (depth_max + 1) * (row_h + row_gap) + bottom
+    plot_w = width - left - right
+    parts: List[str] = [
+        f'<svg viewBox="0 0 {width} {height}" role="img" '
+        'aria-label="Latest span flame view" class="chart">'
+    ]
+    for span in shown:
+        x = left + plot_w * (span["ts"] - t0) / total
+        w = max(plot_w * span["dur"] / total, 1.0)
+        y = top + span["depth"] * (row_h + row_gap)
+        ms = span["dur"] / 1000.0
+        tip = f'{span["name"]}: {ms:,.2f} ms (depth {span["depth"]})'
+        ramp = min(span["depth"], 3)
+        parts.append(
+            f'<rect class="flame flame-{ramp}" x="{x:.1f}" y="{y}" '
+            f'width="{w:.1f}" height="{row_h}" rx="3" '
+            f'data-tip="{_esc(tip)}"/>'
+        )
+        label = f'{span["name"]} {ms:,.1f}ms'
+        if w > len(label) * 6.4 + 12:  # only when it fits with padding
+            parts.append(
+                f'<text class="flame-label" x="{x + 6:.1f}" '
+                f'y="{y + row_h / 2 + 3.5}">{_esc(label)}</text>'
+            )
+    parts.append(
+        f'<text class="axis" x="{left}" y="{height - 8}">0 ms</text>'
+    )
+    parts.append(
+        f'<text class="axis" x="{width - right}" y="{height - 8}" '
+        f'text-anchor="end">{total / 1000.0:,.1f} ms</text>'
+    )
+    parts.append("</svg>")
+    return "".join(parts), note
+
+
+def _overhead_svg(account: dict) -> str:
+    """Horizontal bars: the three overhead components, one hue."""
+    components = account.get("components_percent", {})
+    rows = [(name, float(components.get(name, 0.0)))
+            for name in _COMPONENT_LABELS]
+    width = 920
+    row_h, row_gap = 22, 10
+    left, right, top = 170, 90, 8
+    height = top + len(rows) * (row_h + row_gap) + 6
+    plot_w = width - left - right
+    top_val = max((v for _, v in rows), default=0.0) or 1.0
+    parts: List[str] = [
+        f'<svg viewBox="0 0 {width} {height}" role="img" '
+        'aria-label="Monitoring overhead decomposition" class="chart">'
+    ]
+    for i, (name, value) in enumerate(rows):
+        y = top + i * (row_h + row_gap)
+        w = max(plot_w * value / top_val, 1.0)
+        tip = f'{_COMPONENT_LABELS[name]}: {value:.3f}% of plain cycles'
+        parts.append(
+            f'<text class="axis" x="{left - 10}" '
+            f'y="{y + row_h / 2 + 3.5}" text-anchor="end">'
+            f'{_esc(_COMPONENT_LABELS[name])}</text>'
+        )
+        parts.append(
+            f'<rect class="overhead-bar" x="{left}" y="{y}" '
+            f'width="{w:.1f}" height="{row_h}" rx="4" '
+            f'data-tip="{_esc(tip)}"/>'
+        )
+        parts.append(
+            f'<text class="direct-label" x="{left + w + 8:.1f}" '
+            f'y="{y + row_h / 2 + 3.5}">{value:.2f}%</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+# -- HTML assembly ----------------------------------------------------------
+
+
+def _tiles_html(
+    entries: Sequence[dict],
+    overhead: Optional[dict],
+    cache_rates: Dict[str, Tuple[float, float]],
+) -> str:
+    tiles: List[str] = []
+    if entries:
+        latest = entries[-1]
+        value = _throughput(latest)
+        delta = ""
+        if len(entries) > 1:
+            previous = _throughput(entries[-2])
+            if previous > 0:
+                pct = 100.0 * (value - previous) / previous
+                cls = "delta-up" if pct >= 0 else "delta-down"
+                arrow = "▲" if pct >= 0 else "▼"
+                delta = (f'<div class="delta {cls}">{arrow} '
+                         f'{pct:+.1f}% vs previous snapshot</div>')
+        tiles.append(
+            '<div class="tile"><div class="tile-label">Batched '
+            'end-to-end throughput</div>'
+            f'<div class="tile-value">{_compact(value)}'
+            '<span class="tile-unit"> acc/s</span></div>'
+            f'{delta}</div>'
+        )
+        speedup = _speedup(latest)
+        if speedup:
+            tiles.append(
+                '<div class="tile"><div class="tile-label">Batched vs '
+                'scalar speedup</div>'
+                f'<div class="tile-value">{speedup:.2f}'
+                '<span class="tile-unit">×</span></div></div>'
+            )
+    if overhead is not None:
+        percent = float(overhead.get("overhead_percent", 0.0))
+        workload = overhead.get("workload", "?")
+        tiles.append(
+            '<div class="tile"><div class="tile-label">Monitoring '
+            f'overhead ({_esc(workload)})</div>'
+            f'<div class="tile-value">{percent:.2f}'
+            '<span class="tile-unit">%</span></div></div>'
+        )
+    if cache_rates:
+        meters: List[str] = []
+        for level, (hits, misses) in cache_rates.items():
+            total = hits + misses
+            rate = hits / total if total else 0.0
+            meters.append(
+                f'<div class="meter-row"><span class="meter-name">'
+                f'{_esc(level)}</span>'
+                '<span class="meter"><span class="meter-fill" '
+                f'style="width:{rate * 100:.1f}%"></span></span>'
+                f'<span class="meter-value">{rate * 100:.1f}%</span></div>'
+            )
+        tiles.append(
+            '<div class="tile"><div class="tile-label">Cache hit rate '
+            'by level</div>' + "".join(meters) + "</div>"
+        )
+    return '<section class="tiles">' + "".join(tiles) + "</section>"
+
+
+def _trend_table_html(entries: Sequence[dict]) -> str:
+    rows = []
+    for entry in reversed(list(entries)):
+        stages = " · ".join(
+            f"{stage[:3]} {_stage_seconds(entry, stage):.3f}s"
+            for stage in STAGES
+        )
+        rows.append(
+            "<tr>"
+            f"<td><code>{_esc(entry.get('id', '?'))}</code></td>"
+            f"<td>{_esc(entry.get('stamp', '?'))}</td>"
+            f"<td>{_esc(entry.get('git_sha') or '-')}</td>"
+            f"<td>{'quick' if entry.get('quick') else 'full'}</td>"
+            f"<td class='num'>{_throughput(entry):,.0f}</td>"
+            f"<td class='num'>{_speedup(entry):.2f}×</td>"
+            f"<td>{stages}</td>"
+            "</tr>"
+        )
+    return (
+        "<details><summary>Table view</summary><table>"
+        "<thead><tr><th>id</th><th>stamp</th><th>git</th><th>mode</th>"
+        "<th class='num'>acc/s</th><th class='num'>speedup</th>"
+        "<th>batched stage seconds</th></tr></thead>"
+        "<tbody>" + "".join(rows) + "</tbody></table></details>"
+    )
+
+
+_CSS = """
+:root { color-scheme: light dark; }
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --text-primary: #0b0b0b; --text-secondary: #52514e;
+  --text-muted: #898781;
+  --grid: #e1e0d9; --baseline: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --series-2: #eb6834; --series-3: #1baf7a;
+  --delta-good: #006300; --delta-bad: #d03b3b;
+  --flame-0: #1c5cab; --flame-1: #2a78d6; --flame-2: #5598e7;
+  --flame-3: #86b6ef;
+  --meter-track: #cde2fb;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --grid: #2c2c2a; --baseline: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+    --delta-good: #0ca30c; --delta-bad: #e66767;
+    --flame-0: #184f95; --flame-1: #1c5cab; --flame-2: #2a78d6;
+    --flame-3: #5598e7;
+    --meter-track: #184f95;
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  color-scheme: dark;
+  --surface-1: #1a1a19; --page: #0d0d0d;
+  --text-primary: #ffffff; --text-secondary: #c3c2b7;
+  --text-muted: #898781;
+  --grid: #2c2c2a; --baseline: #383835;
+  --border: rgba(255,255,255,0.10);
+  --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+  --delta-good: #0ca30c; --delta-bad: #e66767;
+  --flame-0: #184f95; --flame-1: #1c5cab; --flame-2: #2a78d6;
+  --flame-3: #5598e7;
+  --meter-track: #184f95;
+}
+body.viz-root {
+  margin: 0; padding: 24px;
+  background: var(--page); color: var(--text-primary);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  font-size: 14px; line-height: 1.45;
+}
+header { display: flex; align-items: baseline; gap: 16px;
+  flex-wrap: wrap; margin-bottom: 16px; }
+header h1 { font-size: 20px; margin: 0; }
+header .meta { color: var(--text-secondary); }
+header code { background: var(--surface-1);
+  border: 1px solid var(--border); border-radius: 4px;
+  padding: 1px 6px; }
+#theme-toggle { margin-left: auto; background: var(--surface-1);
+  color: var(--text-secondary); border: 1px solid var(--border);
+  border-radius: 6px; padding: 4px 10px; cursor: pointer; }
+.tiles { display: flex; gap: 12px; flex-wrap: wrap;
+  margin-bottom: 16px; }
+.tile { background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 10px; padding: 14px 18px; min-width: 180px; }
+.tile-label { color: var(--text-secondary); font-size: 12px; }
+.tile-value { font-size: 30px; font-weight: 600; margin-top: 2px; }
+.tile-unit { font-size: 14px; font-weight: 400;
+  color: var(--text-secondary); }
+.delta { font-size: 12px; margin-top: 4px; }
+.delta-up { color: var(--delta-good); }
+.delta-down { color: var(--delta-bad); }
+.card { background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 10px; padding: 16px 18px; margin-bottom: 16px; }
+.card h2 { font-size: 15px; margin: 0 0 4px; }
+.card .subtitle { color: var(--text-secondary); font-size: 12px;
+  margin: 0 0 10px; }
+.card .empty { color: var(--text-muted); padding: 18px 0; }
+.legend { display: flex; gap: 16px; font-size: 12px;
+  color: var(--text-secondary); margin-bottom: 8px; }
+.legend .key { display: inline-flex; align-items: center; gap: 6px; }
+.legend .swatch { width: 10px; height: 10px; border-radius: 3px;
+  display: inline-block; }
+svg.chart { width: 100%; height: auto; display: block; }
+.grid { stroke: var(--grid); stroke-width: 1; }
+.baseline { stroke: var(--baseline); stroke-width: 1; }
+.axis { fill: var(--text-muted); font-size: 11px;
+  font-variant-numeric: tabular-nums; }
+.direct-label { fill: var(--text-secondary); font-size: 12px;
+  font-weight: 600; }
+.trend-line { fill: none; stroke: var(--series-1); stroke-width: 2;
+  stroke-linejoin: round; stroke-linecap: round; }
+.marker { fill: var(--series-1); stroke: var(--surface-1);
+  stroke-width: 2; }
+.stage-interpret { fill: var(--series-1); }
+.stage-simulate { fill: var(--series-2); }
+.stage-sample { fill: var(--series-3); }
+.flame-0 { fill: var(--flame-0); } .flame-1 { fill: var(--flame-1); }
+.flame-2 { fill: var(--flame-2); } .flame-3 { fill: var(--flame-3); }
+.flame { stroke: var(--surface-1); stroke-width: 1; }
+.flame-label { fill: #ffffff; font-size: 10.5px;
+  pointer-events: none; }
+.overhead-bar { fill: var(--series-1); }
+.meter-row { display: flex; align-items: center; gap: 8px;
+  margin-top: 6px; font-size: 12px; }
+.meter-name { width: 24px; color: var(--text-secondary); }
+.meter { flex: 1; height: 8px; border-radius: 4px;
+  background: var(--meter-track); overflow: hidden; min-width: 90px; }
+.meter-fill { display: block; height: 100%;
+  background: var(--series-1); border-radius: 4px; }
+.meter-value { color: var(--text-secondary); min-width: 44px;
+  text-align: right; font-variant-numeric: tabular-nums; }
+details summary { cursor: pointer; color: var(--text-secondary);
+  font-size: 12px; margin-top: 8px; }
+table { border-collapse: collapse; margin-top: 8px; font-size: 12px;
+  width: 100%; }
+th, td { text-align: left; padding: 4px 10px 4px 0;
+  border-bottom: 1px solid var(--grid); }
+th { color: var(--text-secondary); font-weight: 600; }
+td.num, th.num { text-align: right;
+  font-variant-numeric: tabular-nums; }
+#tooltip { position: fixed; display: none; pointer-events: none;
+  background: var(--surface-1); color: var(--text-primary);
+  border: 1px solid var(--border); border-radius: 6px;
+  padding: 5px 9px; font-size: 12px; z-index: 10;
+  box-shadow: 0 2px 8px rgba(0,0,0,0.18); max-width: 360px; }
+"""
+
+_JS = """
+(function () {
+  var tooltip = document.getElementById("tooltip");
+  document.addEventListener("mousemove", function (event) {
+    var mark = event.target.closest ? event.target.closest("[data-tip]")
+                                    : null;
+    if (!mark) { tooltip.style.display = "none"; return; }
+    tooltip.textContent = mark.getAttribute("data-tip");
+    tooltip.style.display = "block";
+    var x = Math.min(event.clientX + 14,
+                     window.innerWidth - tooltip.offsetWidth - 8);
+    var y = Math.min(event.clientY + 14,
+                     window.innerHeight - tooltip.offsetHeight - 8);
+    tooltip.style.left = x + "px";
+    tooltip.style.top = y + "px";
+  });
+  var toggle = document.getElementById("theme-toggle");
+  toggle.addEventListener("click", function () {
+    var root = document.documentElement;
+    var current = root.getAttribute("data-theme");
+    var dark = window.matchMedia("(prefers-color-scheme: dark)").matches;
+    var effective = current || (dark ? "dark" : "light");
+    root.setAttribute("data-theme",
+                      effective === "dark" ? "light" : "dark");
+  });
+})();
+"""
+
+
+def render_dash(
+    entries: Sequence[dict],
+    *,
+    telemetry_dir: Optional[PathLike] = None,
+) -> str:
+    """Render the dashboard HTML document as a string."""
+    entries = list(entries)
+    charted = entries[-MAX_TREND_POINTS:]
+    spans = _load_spans(telemetry_dir)
+    overhead = _load_overhead(telemetry_dir)
+    cache_rates = _load_cache_rates(telemetry_dir)
+    latest_id = entries[-1].get("id") if entries else None
+
+    island = json.dumps(
+        {
+            "latest_entry": latest_id,
+            "entries": [
+                {
+                    "id": e.get("id"),
+                    "stamp": e.get("stamp"),
+                    "git_sha": e.get("git_sha"),
+                    "quick": bool(e.get("quick")),
+                    "accesses_per_sec": _throughput(e),
+                    "stages_batched_seconds": {
+                        stage: _stage_seconds(e, stage) for stage in STAGES
+                    },
+                }
+                for e in entries
+            ],
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+    sections: List[str] = [_tiles_html(entries, overhead, cache_rates)]
+
+    trend_body = (
+        _trend_svg(charted) + _trend_table_html(entries)
+        if entries
+        else '<div class="empty">No bench history yet — run '
+             '<code>repro bench</code> to record a snapshot.</div>'
+    )
+    sections.append(
+        '<section class="card"><h2>Batched end-to-end throughput</h2>'
+        '<p class="subtitle">accesses/second over the bench history '
+        'store; each point is one committed snapshot</p>'
+        f'{trend_body}</section>'
+    )
+
+    if entries:
+        legend = '<div class="legend">' + "".join(
+            f'<span class="key"><span class="swatch" '
+            f'style="background:var(--series-{i + 1})"></span>'
+            f'{_esc(_STAGE_LABELS[stage])}</span>'
+            for i, stage in enumerate(STAGES)
+        ) + "</div>"
+        sections.append(
+            '<section class="card"><h2>Per-stage wall time</h2>'
+            '<p class="subtitle">batched engine, best-of-N seconds per '
+            'stage per snapshot</p>'
+            f'{legend}{_stages_svg(charted)}</section>'
+        )
+
+    flame_svg, flame_note = _flame_svg(spans)
+    flame_body = flame_svg or (
+        '<div class="empty">No trace captured — run a command with '
+        '<code>--telemetry DIR</code> (or <code>repro trace</code>) and '
+        'point <code>repro dash --telemetry</code> at it.</div>'
+    )
+    note_html = (f'<p class="subtitle">{_esc(flame_note)}</p>'
+                 if flame_note else "")
+    sections.append(
+        '<section class="card"><h2>Latest span flame view</h2>'
+        '<p class="subtitle">pipeline spans from trace.json, nested by '
+        'depth; hover for durations</p>'
+        f'{flame_body}{note_html}</section>'
+    )
+
+    if overhead is not None:
+        sections.append(
+            '<section class="card"><h2>Monitoring overhead '
+            'decomposition</h2>'
+            '<p class="subtitle">percent of plain cycles, by '
+            'self-overhead component (latest account)</p>'
+            f'{_overhead_svg(overhead)}</section>'
+        )
+
+    latest_badge = (
+        f'latest entry <code>{_esc(latest_id)}</code> · '
+        if latest_id else ""
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro performance dashboard</title>
+<style>{_CSS}</style>
+</head>
+<body class="viz-root">
+<header>
+<h1>repro performance dashboard</h1>
+<div class="meta">{latest_badge}{len(entries)} snapshot(s)</div>
+<button id="theme-toggle" type="button">toggle theme</button>
+</header>
+{"".join(sections)}
+<script type="application/json" id="repro-dash-data">{island}</script>
+<div id="tooltip" role="status"></div>
+<script>{_JS}</script>
+</body>
+</html>
+"""
+
+
+def write_dash(
+    out: PathLike,
+    entries: Sequence[dict],
+    *,
+    telemetry_dir: Optional[PathLike] = None,
+) -> Path:
+    """Write the dashboard to ``out`` and return the path."""
+    path = Path(out)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        render_dash(entries, telemetry_dir=telemetry_dir),
+        encoding="utf-8",
+    )
+    return path

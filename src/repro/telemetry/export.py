@@ -21,7 +21,8 @@ from __future__ import annotations
 import dataclasses
 import json
 import math
-from pathlib import Path
+from array import array
+from pathlib import Path, PurePath
 from typing import Dict, Iterator, List, Optional, Union
 
 from .metrics import Histogram, MetricsRegistry
@@ -35,13 +36,20 @@ def to_jsonable(obj):
     """Recursively convert ``obj`` into JSON-encodable primitives.
 
     Handles dataclasses, mappings with non-string keys (tuple keys join
-    with ``/``), sets (sorted), tuples, and non-finite floats (encoded
-    as strings, since JSON has no Infinity/NaN).
+    with ``/``), sets (sorted), tuples, non-finite floats (encoded as
+    strings, since JSON has no Infinity/NaN), ``array.array`` columns
+    (the batched engine's ``array('q')`` address columns become plain
+    lists), and paths (their string form) — the latter two flow through
+    live events and must round-trip, not stringify to ``repr``.
     """
     if obj is None or isinstance(obj, (bool, int, str)):
         return obj
     if isinstance(obj, float):
         return obj if math.isfinite(obj) else str(obj)
+    if isinstance(obj, PurePath):
+        return str(obj)
+    if isinstance(obj, array):
+        return [to_jsonable(v) for v in obj.tolist()]
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         return {
             f.name: to_jsonable(getattr(obj, f.name))

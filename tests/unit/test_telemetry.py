@@ -273,6 +273,21 @@ class TestToJsonable:
         assert encoded["workload"] == "figure1"
         assert encoded["pmu"] == "PEBS-LL"
 
+    def test_array_columns_round_trip(self):
+        from array import array
+
+        column = array("q", [0x1000, 0x1008, -1])
+        encoded = to_jsonable({"addresses": column})
+        assert encoded == {"addresses": [0x1000, 0x1008, -1]}
+        # Round-trips through the JSON layer, not a repr string.
+        assert json.loads(json.dumps(encoded)) == encoded
+        assert array("q", encoded["addresses"]) == column
+
+    def test_paths_become_strings(self):
+        encoded = to_jsonable({"out": Path("telemetry") / "flightrec.json"})
+        assert encoded == {"out": "telemetry/flightrec.json"}
+        assert json.loads(json.dumps(encoded)) == encoded
+
 
 class TestExporters:
     def build_session(self):

@@ -1,0 +1,119 @@
+"""Unit tests for the static HTML dashboard renderer."""
+
+import json
+
+from repro.telemetry import history
+from repro.telemetry.dash import render_dash, write_dash
+
+from .test_telemetry_history import make_bench
+
+
+def make_entries():
+    return [
+        history.make_entry(make_bench("20260101T000000"), sha="aaa111"),
+        history.make_entry(
+            make_bench("20260102T000000", simulate=1.0, e2e=1.3),
+            sha="bbb222",
+        ),
+    ]
+
+
+def extract_island(html_text):
+    marker = 'id="repro-dash-data">'
+    start = html_text.index(marker) + len(marker)
+    end = html_text.index("</script>", start)
+    return json.loads(html_text[start:end])
+
+
+class TestRenderDash:
+    def test_data_island_embeds_latest_entry_id(self):
+        entries = make_entries()
+        island = extract_island(render_dash(entries))
+        assert island["latest_entry"] == entries[-1]["id"]
+        assert [row["id"] for row in island["entries"]] == [
+            e["id"] for e in entries
+        ]
+        assert island["entries"][0]["stages_batched_seconds"][
+            "simulate"
+        ] == 0.8
+
+    def test_panels_present_with_history_only(self):
+        text = render_dash(make_entries())
+        assert "Batched end-to-end throughput" in text
+        assert "Per-stage wall time" in text
+        assert "trend-line" in text
+        assert "stage-simulate" in text
+        # Telemetry-fed panels degrade to a hint, not an error.
+        assert "No trace captured" in text
+        assert "Monitoring overhead" not in text
+
+    def test_empty_history_renders_placeholder(self):
+        text = render_dash([])
+        assert "No bench history yet" in text
+        assert extract_island(text)["latest_entry"] is None
+
+    def test_table_view_lists_every_entry(self):
+        entries = make_entries()
+        text = render_dash(entries)
+        for entry in entries:
+            assert entry["id"] in text
+        assert "aaa111" in text and "bbb222" in text
+
+    def test_marks_carry_hover_tooltips(self):
+        text = render_dash(make_entries())
+        assert text.count("data-tip=") >= 2  # markers + stacked segments
+
+
+class TestTelemetryPanels:
+    def make_telemetry_dir(self, tmp_path):
+        tel = tmp_path / "tel"
+        tel.mkdir()
+        (tel / "trace.json").write_text(json.dumps({
+            "traceEvents": [
+                {"ph": "M", "name": "process_name"},
+                {"ph": "X", "name": "run", "ts": 0.0, "dur": 1000.0},
+                {"ph": "X", "name": "simulate", "ts": 100.0, "dur": 600.0},
+            ]
+        }))
+        (tel / "metrics.prom").write_text(
+            'repro_memsim_cache_hits_total{level="L1"} 90\n'
+            'repro_memsim_cache_misses_total{level="L1"} 10\n'
+            'repro_memsim_cache_hits_total{level="L3"} 5\n'
+            'repro_memsim_cache_misses_total{level="L3"} 15\n'
+        )
+        (tel / "overhead.json").write_text(json.dumps([{
+            "workload": "179.ART",
+            "overhead_percent": 3.25,
+            "components_percent": {
+                "interrupt_service": 1.5,
+                "online_analysis": 1.0,
+                "collection": 0.75,
+            },
+        }]))
+        return tel
+
+    def test_flame_overhead_and_cache_panels(self, tmp_path):
+        tel = self.make_telemetry_dir(tmp_path)
+        text = render_dash(make_entries(), telemetry_dir=tel)
+        # Flame: nested span sits one row down (depth from containment).
+        assert 'class="flame flame-0"' in text
+        assert 'class="flame flame-1"' in text
+        assert "simulate: 0.60 ms" in text
+        # Overhead decomposition and its direct labels.
+        assert "interrupt service" in text
+        assert "1.50%" in text
+        # Cache hit-rate meters: 90% and 25%.
+        assert "90.0%" in text
+        assert "25.0%" in text
+
+    def test_missing_telemetry_dir_is_tolerated(self, tmp_path):
+        text = render_dash(make_entries(),
+                           telemetry_dir=tmp_path / "nope")
+        assert "No trace captured" in text
+
+    def test_write_dash_creates_parent_dirs(self, tmp_path):
+        out = write_dash(
+            tmp_path / "deep" / "dash.html", make_entries()
+        )
+        assert out.exists()
+        assert extract_island(out.read_text())["latest_entry"]

@@ -1,0 +1,161 @@
+"""Edge cases for cross-process telemetry merge (capture/absorb)."""
+
+import itertools
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.merge import (
+    SessionPayload,
+    absorb_payload,
+    capture_session,
+)
+
+
+def fake_clock():
+    counter = itertools.count()
+    return lambda: float(next(counter))
+
+
+@pytest.fixture
+def parent_session():
+    session = telemetry.start(fake_clock())
+    try:
+        yield session
+    finally:
+        telemetry.stop()
+
+
+def worker_session(build):
+    """Run ``build`` against a private session; return its payload."""
+    session = telemetry.TelemetrySession(
+        tracer=telemetry.Tracer(fake_clock()),
+        metrics=telemetry.MetricsRegistry(),
+    )
+    build(session)
+    return capture_session(session)
+
+
+class TestEmptyHistogramMerge:
+    def test_unobserved_histogram_absorbs_without_inflating(
+        self, parent_session
+    ):
+        buckets = (1.0, 10.0)
+
+        # Parent has observations; the worker registered the same
+        # histogram but never observed into it (a zero-sample run).
+        parent_session.metrics.histogram(
+            "repro_lat", buckets, help="lat"
+        ).observe(5.0)
+        payload = worker_session(
+            lambda s: s.metrics.histogram("repro_lat", buckets, help="lat")
+        )
+        absorb_payload(parent_session, payload)
+
+        merged = parent_session.metrics.get("repro_lat")
+        assert merged.count == 1
+        assert merged.sum == pytest.approx(5.0)
+        assert sum(merged.counts) == 1
+
+    def test_both_sides_empty_stays_empty(self, parent_session):
+        buckets = (1.0, 10.0)
+        parent_session.metrics.histogram("repro_lat", buckets, help="lat")
+        payload = worker_session(
+            lambda s: s.metrics.histogram("repro_lat", buckets, help="lat")
+        )
+        absorb_payload(parent_session, payload)
+        merged = parent_session.metrics.get("repro_lat")
+        assert merged.count == 0
+        assert merged.sum == 0.0
+
+    def test_mismatched_buckets_raise(self, parent_session):
+        parent_session.metrics.histogram("repro_lat", (1.0,), help="lat")
+        payload = worker_session(
+            lambda s: s.metrics.histogram("repro_lat", (2.0,), help="lat")
+        )
+        with pytest.raises(ValueError):
+            absorb_payload(parent_session, payload)
+
+
+class TestZeroTaskAbsorbOrdering:
+    def test_empty_payload_changes_nothing(self, parent_session):
+        parent_session.metrics.counter("repro_total", help="t").inc(7)
+        with parent_session.tracer.span("run"):
+            pass
+        absorb_payload(parent_session, SessionPayload())
+        assert parent_session.metrics.get("repro_total").value == 7
+        assert len(parent_session.tracer.roots) == 1
+        assert parent_session.overhead_accounts == []
+
+    def test_gauge_order_with_interleaved_empty_runs(self, parent_session):
+        """Last write wins in task order even across empty payloads."""
+        parent_session.metrics.gauge("repro_depth", help="d").set(1.0)
+
+        first = worker_session(
+            lambda s: s.metrics.gauge("repro_depth", help="d").set(2.0)
+        )
+        empty = SessionPayload()  # a worker that ran zero tasks
+        last = worker_session(
+            lambda s: s.metrics.gauge("repro_depth", help="d").set(3.0)
+        )
+        for payload in (first, empty, last):
+            absorb_payload(parent_session, payload)
+        assert parent_session.metrics.get("repro_depth").value == 3.0
+
+    def test_empty_then_counting_payloads_commute(self, parent_session):
+        counting = worker_session(
+            lambda s: s.metrics.counter("repro_total", help="t").inc(4)
+        )
+        absorb_payload(parent_session, SessionPayload())
+        absorb_payload(parent_session, counting)
+        absorb_payload(parent_session, SessionPayload())
+        assert parent_session.metrics.get("repro_total").value == 4
+
+
+class TestOneSidedCounterMerge:
+    def test_worker_metric_absent_in_parent_is_created(
+        self, parent_session
+    ):
+        payload = worker_session(
+            lambda s: s.metrics.counter(
+                "repro_only_worker_total", help="w", level="L1"
+            ).inc(5)
+        )
+        absorb_payload(parent_session, payload)
+        merged = parent_session.metrics.get(
+            "repro_only_worker_total", level="L1"
+        )
+        assert merged.value == 5
+        assert merged.help == "w"
+
+    def test_parent_metric_absent_in_worker_is_untouched(
+        self, parent_session
+    ):
+        parent_session.metrics.counter(
+            "repro_only_parent_total", help="p"
+        ).inc(9)
+        payload = worker_session(
+            lambda s: s.metrics.counter("repro_other_total", help="o").inc(1)
+        )
+        absorb_payload(parent_session, payload)
+        assert parent_session.metrics.get(
+            "repro_only_parent_total"
+        ).value == 9
+        assert parent_session.metrics.get("repro_other_total").value == 1
+
+    def test_label_sets_merge_independently(self, parent_session):
+        parent_session.metrics.counter(
+            "repro_hits_total", help="h", level="L1"
+        ).inc(2)
+        payload = worker_session(
+            lambda s: s.metrics.counter(
+                "repro_hits_total", help="h", level="L2"
+            ).inc(3)
+        )
+        absorb_payload(parent_session, payload)
+        assert parent_session.metrics.get(
+            "repro_hits_total", level="L1"
+        ).value == 2
+        assert parent_session.metrics.get(
+            "repro_hits_total", level="L2"
+        ).value == 3
