@@ -9,6 +9,7 @@ the hierarchy assigned to it, exactly the pairing PEBS-LL exposes.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Iterable, Optional
 
 from .._compat import slotted_dataclass
@@ -90,6 +91,21 @@ def simulate(
     # with its own arithmetic is called per latency instead.
     inline_stall = type(cost) is CostModel
     mlp = cost.mlp
+    # The vector walk returns a float64 ndarray; its sums may be taken
+    # order-free iff every partial result is exact: integer-valued
+    # latencies (magnitudes stay far below 2**53) and a stall divisor
+    # that is a power of two. Otherwise the column is walked in trace
+    # order like a list, which is bitwise the scalar accumulation.
+    hcfg = hier.config
+    exact_column_sums = (
+        inline_stall
+        and mlp > 0.0
+        and math.frexp(mlp)[0] == 0.5
+        and float(l1_latency).is_integer()
+        and float(hcfg.l2.latency).is_integer()
+        and float(hcfg.l3.latency).is_integer()
+        and float(hcfg.dram_latency).is_integer()
+    )
     observe_batch = None
     if observer is not None:
         owner = getattr(observer, "__self__", None)
@@ -116,7 +132,10 @@ def simulate(
             compute += item.cycles
         elif isinstance(item, AccessBatch):
             if hier_batch is None:
-                # Configuration needs the full per-access model: expand.
+                # Hierarchy opts out of the columnar path: expand.
+                # Progress publishes at PROGRESS_EVERY granularity
+                # *inside* the loop so --live output does not stall
+                # for the length of a large batch.
                 for access in item:
                     latency = hier_access(
                         access.thread % mod_cores,
@@ -131,29 +150,46 @@ def simulate(
                         max_thread = access.thread
                     if observer is not None:
                         observer(access, latency)
-                if progress_mark and accesses >= progress_mark:
-                    progress_mark = accesses + PROGRESS_EVERY
-                    bus.publish("stage-progress", stage="simulate",
-                                done=accesses, unit="accesses")
+                    if progress_mark and accesses >= progress_mark:
+                        progress_mark = accesses + PROGRESS_EVERY
+                        bus.publish("stage-progress", stage="simulate",
+                                    done=accesses, unit="accesses")
                 continue
-            latencies = hier_batch(item.address, item.size)
+            latencies = hier_batch(
+                item.address, item.size, item.is_write, item.thread
+            )
             accesses += item.length
             if item.max_thread > max_thread:
                 max_thread = item.max_thread
-            if inline_stall:
-                for latency in latencies:
-                    total_latency += latency
-                    extra = latency - l1_latency
-                    if extra > 0:
-                        stalls += extra / mlp
+            if type(latencies) is list:
+                column = latencies
+            elif exact_column_sums:
+                # ndarray from the vector walk: order-free exact sums.
+                total_latency += float(latencies.sum())
+                extra = latencies - l1_latency
+                stalled = extra > 0.0
+                if stalled.any():
+                    stalls += float(extra[stalled].sum()) / mlp
+                column = None
             else:
-                for latency in latencies:
-                    total_latency += latency
-                    stalls += cost.stall(latency, l1_latency)
+                column = latencies.tolist()
+            if column is not None:
+                if inline_stall:
+                    for latency in column:
+                        total_latency += latency
+                        extra = latency - l1_latency
+                        if extra > 0:
+                            stalls += extra / mlp
+                else:
+                    for latency in column:
+                        total_latency += latency
+                        stalls += cost.stall(latency, l1_latency)
             if observe_batch is not None:
                 observe_batch(item, latencies)
             elif observer is not None:
-                for access, latency in zip(item, latencies):
+                if column is None:
+                    column = latencies.tolist()
+                for access, latency in zip(item, column):
                     observer(access, latency)
             if progress_mark and accesses >= progress_mark:
                 progress_mark = accesses + PROGRESS_EVERY

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from . import vectorwalk
 from .cache import SetAssociativeCache
 from .coherence import MESIDirectory
 from .prefetch import StreamPrefetcher
@@ -119,6 +120,20 @@ class MemoryHierarchy:
         self.directory: Optional[MESIDirectory] = (
             MESIDirectory() if self._track_sharing else None
         )
+        # Batched-path bookkeeping. A "simple" machine (one core, no
+        # directory/prefetcher/TLB) takes the inlined single-core walk;
+        # once batches are large enough its caches are promoted to the
+        # numpy tag-array representation (state 1). State -1 means the
+        # vector path is off for good (no numpy, random replacement, or
+        # demoted after persistently unsafe batches).
+        self._simple_batch = (
+            num_cores == 1
+            and self.directory is None
+            and self.config.prefetch_degree == 0
+            and self.config.tlb is None
+        )
+        self._vector_state = 0
+        self._vector_slow_batches = 0
 
     # -- main access path ------------------------------------------------
 
@@ -133,7 +148,17 @@ class MemoryHierarchy:
             latency = max(latency, self._access_line(core_id, last, is_write))
         dtlb = self.cores[core_id].dtlb
         if dtlb is not None:
-            latency += dtlb.translate(address)
+            penalty = dtlb.translate(address)
+            if last != first:
+                last_byte = address + size - 1
+                if (last_byte >> dtlb._page_bits) != (
+                    address >> dtlb._page_bits
+                ):
+                    # Page-crossing access: the last byte's page is
+                    # translated too; like the two-line walk above, the
+                    # slower translation bounds the observed latency.
+                    penalty = max(penalty, dtlb.translate(last_byte))
+            latency += penalty
         return latency
 
     def _access_line(self, core_id: int, line: int, is_write: bool) -> float:
@@ -190,36 +215,54 @@ class MemoryHierarchy:
 
     # -- batched access path -----------------------------------------------
 
+    #: Smallest batch worth promoting the simple machine's caches to
+    #: the numpy tag-array representation; below it the inlined list
+    #: walk wins. Tests lower it (per instance) to force the vector
+    #: path onto tiny batches.
+    VECTOR_MIN_BATCH = 256
+
     @property
     def supports_batch(self) -> bool:
         """True when :meth:`access_batch` is exact for this machine.
 
-        The columnar path inlines the single-core L1→L2→L3→DRAM walk;
-        it is only taken when nothing else can observe an access:
-        no coherence directory (implied by one core), no prefetcher,
-        and no TLB. Any other configuration falls back to per-access
-        :meth:`access`, keeping the calibrated Table 3/4 numbers
-        untouched.
+        Every configuration batches now. The single-core simple machine
+        (no directory, prefetcher, or TLB) takes the vectorized
+        tag-array walk (:mod:`repro.memsim.vectorwalk`) or, for small
+        batches and numpy-less installs, the inlined list walk; every
+        other machine takes a chunked trace-ordered loop that honors
+        the batch's write and thread columns. Parity with per-access
+        :meth:`access` stays byte-identical either way.
         """
-        return (
-            self.num_cores == 1
-            and self.directory is None
-            and self.config.prefetch_degree == 0
-            and self.config.tlb is None
-        )
+        return True
 
-    def access_batch(self, addresses, sizes) -> List[float]:
-        """Latency column for a column of accesses (single core).
+    def access_batch(self, addresses, sizes, is_write=None, thread=None):
+        """Latency column for a column of accesses (any machine).
 
-        Exactly equivalent to calling :meth:`access` per element when
-        :attr:`supports_batch` holds — same latencies, same hit/miss/
-        eviction counters — but with attribute lookups hoisted and a
-        same-line memo: an access to the line touched immediately
-        before is a guaranteed L1 MRU hit (the previous access left it
-        most-recent), so only the hit counter advances.
+        Exactly equivalent to calling :meth:`access` per element — same
+        latencies, same hit/miss/eviction counters, same directory/
+        prefetcher/TLB state. ``is_write`` and ``thread`` are the
+        batch's 0/1 write column and thread column; they default to
+        all-reads on thread 0, which is only observably different on
+        machines with a coherence directory or several cores — exactly
+        where the engine passes the real columns.
+
+        Dispatch: the simple single-core machine uses the vectorized
+        numpy walk once batches are big enough (returning a float64
+        ndarray), else an inlined list walk with a same-line memo; any
+        other machine takes :meth:`_access_batch_general`.
         """
-        if not self.supports_batch:
-            raise RuntimeError("access_batch on a non-batchable configuration")
+        if not self._simple_batch:
+            return self._access_batch_general(addresses, sizes, is_write, thread)
+        state = self._vector_state
+        if state >= 0 and vectorwalk.HAVE_NUMPY:
+            if state == 1:
+                return vectorwalk.walk_batch(self, addresses, sizes, is_write)
+            if (
+                len(addresses) >= self.VECTOR_MIN_BATCH
+                and self.config.replacement != "random"
+            ):
+                self._promote_to_vector()
+                return vectorwalk.walk_batch(self, addresses, sizes, is_write)
         cfg = self.config
         core = self.cores[0]
         l1, l2, l3 = core.l1, core.l2, self.l3
@@ -288,7 +331,8 @@ class MemoryHierarchy:
             first = address >> line_bits
             if (address + size - 1) >> line_bits != first:
                 # Flush local counters so the scalar call sees a
-                # consistent hierarchy, then take the full path.
+                # consistent hierarchy, then take the full path (the
+                # write bit is unobservable without a directory).
                 l1.hits += l1_hits; l1.misses += l1_misses
                 l1.evictions += l1_evicts
                 l2.hits += l2_hits; l2.misses += l2_misses
@@ -354,6 +398,94 @@ class MemoryHierarchy:
         l3.hits += l3_hits; l3.misses += l3_misses; l3.evictions += l3_evicts
         self.dram_accesses += dram
         return out
+
+    def _access_batch_general(
+        self, addresses, sizes, is_write=None, thread=None
+    ) -> List[float]:
+        """Chunked trace-ordered walk for every non-simple machine.
+
+        One call per batch instead of one :class:`MemoryAccess` object
+        per access: the loop reads the raw columns, maps threads to
+        cores, and honors the write bit, so multi-core traces, the MESI
+        directory, the stream prefetcher, and the TLB all see exactly
+        the event sequence the scalar path produces. A single-line read
+        (or directory-less write) that hits L1 is resolved inline —
+        nothing below L1 can observe it — and everything else takes the
+        full :meth:`access` path.
+        """
+        cfg = self.config
+        cores = self.cores
+        directory = self.directory
+        mod_cores = self.num_cores
+        line_bits = self._line_bits
+        l1_lat = cfg.l1.latency
+        promote = cfg.replacement == "lru"
+        access = self.access
+        l1s = [core.l1 for core in cores]
+        l1_sets = [core.l1._sets for core in cores]
+        l1_mask = cores[0].l1._set_mask
+        dtlbs = [core.dtlb for core in cores]
+        has_tlb = dtlbs[0] is not None
+        n = len(addresses)
+        out = [0.0] * n
+        for i in range(n):
+            address = addresses[i]
+            size = sizes[i]
+            write = is_write is not None and is_write[i] != 0
+            core_id = thread[i] % mod_cores if thread is not None else 0
+            first = address >> line_bits
+            if (address + size - 1) >> line_bits == first and not (
+                write and directory is not None
+            ):
+                tags = l1_sets[core_id][first & l1_mask]
+                if first in tags:
+                    l1s[core_id].hits += 1
+                    if promote and tags[-1] != first:
+                        tags.remove(first)
+                        tags.append(first)
+                    if has_tlb:
+                        # Single line implies single page (pages are a
+                        # multiple of the line size): one translation.
+                        out[i] = l1_lat + dtlbs[core_id].translate(address)
+                    else:
+                        out[i] = l1_lat
+                    continue
+            out[i] = access(core_id, address, size, write)
+        return out
+
+    # -- vector-path state management ---------------------------------------
+
+    def _promote_to_vector(self) -> None:
+        """Convert the simple machine's caches to tag arrays."""
+        core = self.cores[0]
+        core.l1 = vectorwalk.TagArrayCache(core.l1)
+        core.l2 = vectorwalk.TagArrayCache(core.l2)
+        self.l3 = vectorwalk.TagArrayCache(self.l3)
+        self._vector_state = 1
+
+    def _demote_from_vector(self) -> None:
+        """Back to list caches, for workloads the vector walk dislikes."""
+        core = self.cores[0]
+        core.l1 = core.l1.to_list_cache()
+        core.l2 = core.l2.to_list_cache()
+        self.l3 = self.l3.to_list_cache()
+        self._vector_state = -1
+
+    def _vector_feedback(self, replayed: int, total: int) -> None:
+        """Demote after three consecutive replay-dominated batches.
+
+        The vector walk replays accesses in "unsafe" sets through a
+        per-access loop; when most of a batch replays (thrash-heavy
+        footprints near a cache's capacity) the list walk is faster,
+        and the conversion preserves state exactly so results do not
+        change — only speed does.
+        """
+        if replayed * 2 > total:
+            self._vector_slow_batches += 1
+            if self._vector_slow_batches >= 3:
+                self._demote_from_vector()
+        else:
+            self._vector_slow_batches = 0
 
     @property
     def invalidations(self) -> int:

@@ -36,15 +36,22 @@ class StreamPrefetcher:
         """Record a demand miss; return lines to prefetch (may be empty)."""
         count = self._table.pop(line, 0) + 1
         if count >= self.threshold:
-            # Confirmed stream: advance the head past the prefetched lines.
-            self._table[line + 1] = count
+            # Confirmed stream: advance the head past the prefetched
+            # lines. Those lines now hit in L2, so the stream's next
+            # demand *miss* lands at line + degree + 1 — re-arming at
+            # line + 1 would never match again and the stream would die
+            # after one burst.
+            self._table[line + self.degree + 1] = count
             self.issued += self.degree
-            return [line + 1 + k for k in range(self.degree)]
-        self._table[line + 1] = count
+        else:
+            self._table[line + 1] = count
         if len(self._table) > self.table_size:
-            # Evict the oldest entry (dict preserves insertion order).
+            # Evict the oldest entry (dict preserves insertion order);
+            # confirmed streams respect the bound like unconfirmed ones.
             oldest = next(iter(self._table))
             del self._table[oldest]
+        if count >= self.threshold:
+            return [line + 1 + k for k in range(self.degree)]
         return []
 
     def reset(self) -> None:

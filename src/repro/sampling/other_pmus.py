@@ -34,6 +34,11 @@ class _UnitLatencySampler(SamplingEngine):
     def observe_batch(self, batch, latencies) -> None:
         # Degrade the whole column before the batched engine slices
         # samples out of it, mirroring the per-access override above.
+        # The vector walk hands an ndarray: degrade to plain floats so
+        # stored samples match the scalar path byte for byte.
+        to_list = getattr(latencies, "tolist", None)
+        if to_list is not None:
+            latencies = to_list()
         super().observe_batch(
             batch, [1.0 if latency > 0 else latency for latency in latencies]
         )

@@ -150,11 +150,20 @@ class SamplingEngine:
         if n_elig == 0:
             self.total_accesses += n
             return
-        if self.min_latency > 0.0 and min(latencies) < self.min_latency:
-            # Some accesses may fail the latency filter; eligibility is
-            # then data-dependent and the skip arithmetic doesn't apply.
-            self._observe_batch_slow(batch, latencies)
-            return
+        if self.min_latency > 0.0:
+            # The latency column is a list (scalar walk) or a float64
+            # ndarray (vector walk); .min() keeps the ndarray probe off
+            # the per-element Python path.
+            lowest = (
+                latencies.min() if hasattr(latencies, "min")
+                else min(latencies)
+            )
+            if lowest < self.min_latency:
+                # Some accesses may fail the latency filter; eligibility
+                # is then data-dependent and the skip arithmetic doesn't
+                # apply.
+                self._observe_batch_slow(batch, latencies)
+                return
         round_size = K * T
         per_slot = rounds * n_elig  # eligible accesses per thread slot
         base = self.total_accesses
@@ -197,7 +206,7 @@ class SamplingEngine:
                         address=address[pos],
                         size=size[pos],
                         is_write=bool(is_write[pos]),
-                        latency=latencies[pos],
+                        latency=float(latencies[pos]),
                         line=line[pos],
                         context=context[pos],
                     )
@@ -209,8 +218,13 @@ class SamplingEngine:
             else:
                 self._countdown[thread_order[s]] = nxt - (per_slot - 1)
 
-    def _observe_batch_slow(self, batch, latencies: List[float]) -> None:
+    def _observe_batch_slow(self, batch, latencies) -> None:
         """Per-access replay for latency-filtered configurations."""
+        to_list = getattr(latencies, "tolist", None)
+        if to_list is not None:
+            # ndarray column: replay with plain floats so captured
+            # samples stay byte-identical to the scalar path's.
+            latencies = to_list()
         observe = self.observe
         for access, latency in zip(batch, latencies):
             observe(access, latency)

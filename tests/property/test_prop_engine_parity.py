@@ -9,11 +9,14 @@ trip counts straddling the MIN_BATCH_TRIPS gate, multiple threads,
 and both PMU flavors with jittered periods.
 """
 
+import dataclasses
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.memsim.engine import simulate
 from repro.memsim.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.memsim.tlb import TLBConfig
 from repro.program import AccessBatch, Access, Compute, Function, Loop, WorkloadBuilder, affine
 from repro.program.interp import Interpreter
 from repro.program.ir import Const, Indirect, Mod
@@ -123,17 +126,28 @@ def sampler_state(sampler):
     )
 
 
-def run_pipeline(bound, num_threads, batched, make_sampler):
+def run_pipeline(bound, num_threads, batched, make_sampler,
+                 config=None, vector_min=None):
     interp = Interpreter(bound, num_threads=num_threads)
     trace = interp.run_batched() if batched else interp.run()
     sampler = make_sampler()
-    hierarchy = MemoryHierarchy(HierarchyConfig(), num_threads)
+    hierarchy = MemoryHierarchy(config or HierarchyConfig(), num_threads)
+    if vector_min is not None:
+        # Force (1) or forbid (huge) promotion to the vector walk so
+        # both representations run under the property.
+        hierarchy.VECTOR_MIN_BATCH = vector_min
     metrics = simulate(trace, hierarchy=hierarchy, observer=sampler.observe)
     levels = [hierarchy.l3] + [
         cache for core in hierarchy.cores for cache in (core.l1, core.l2)
     ]
     caches = [(c.hits, c.misses, c.evictions) for c in levels]
-    return metrics, caches, hierarchy.dram_accesses, sampler_state(sampler)
+    return (
+        metrics,
+        caches,
+        hierarchy.dram_accesses,
+        hierarchy.miss_summary(),
+        sampler_state(sampler),
+    )
 
 
 class TestTraceParity:
@@ -168,4 +182,48 @@ class TestPipelineParity:
 
         scalar = run_pipeline(bound, num_threads, False, make_sampler)
         batched = run_pipeline(bound, num_threads, True, make_sampler)
+        assert scalar == batched
+
+
+class TestConfigParity:
+    """Batch exactness over the full machine-configuration space.
+
+    supports_batch no longer excludes multi-core, coherence, prefetch,
+    TLB, or any replacement policy; every combination must stay
+    byte-identical to the scalar walk, whichever internal path it takes
+    (vector tag-array walk, inlined list walk, or the chunked general
+    loop). ``vector_min`` forces promotion at batch length 1 or forbids
+    it entirely, so both cache representations run under the property.
+    """
+
+    @given(
+        bodies(),
+        st.integers(1, 3),
+        st.sampled_from([0, 2]),
+        st.sampled_from(
+            [None, TLBConfig(l1_entries=8, l1_ways=4,
+                             l2_entries=16, l2_ways=4)]
+        ),
+        st.sampled_from(["lru", "fifo", "random"]),
+        st.booleans(),
+        st.sampled_from([1, 1 << 30]),
+    )
+    @settings(deadline=None, max_examples=40)
+    def test_every_configuration_is_batch_exact(
+        self, body, num_threads, degree, tlb, replacement, small_geom,
+        vector_min,
+    ):
+        bound = build(body)
+        base = HierarchyConfig.small() if small_geom else HierarchyConfig()
+        config = dataclasses.replace(
+            base, prefetch_degree=degree, tlb=tlb, replacement=replacement
+        )
+
+        def make_sampler():
+            return PEBSLoadLatencySampler(7, jitter=0.2, seed=3)
+
+        scalar = run_pipeline(bound, num_threads, False, make_sampler,
+                              config=config)
+        batched = run_pipeline(bound, num_threads, True, make_sampler,
+                               config=config, vector_min=vector_min)
         assert scalar == batched

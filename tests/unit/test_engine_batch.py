@@ -16,6 +16,7 @@ from repro.layout import INT, StructType
 from repro.experiments.bench import check_regression, write_bench
 from repro.memsim.engine import simulate
 from repro.memsim.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.memsim.tlb import TLBConfig
 from repro.profiler.monitor import Monitor
 from repro.program import (
     Access,
@@ -156,13 +157,169 @@ class TestHierarchyBatch:
         assert hierarchy.access_batch(addresses, sizes) == expected
         assert hierarchy.dram_accesses == reference.dram_accesses
 
-    def test_batch_requires_single_core_simple_hierarchy(self):
-        multicore = MemoryHierarchy(HierarchyConfig(), 2)
-        assert not multicore.supports_batch
-        with pytest.raises(RuntimeError):
-            multicore.access_batch([0], [4])
-        prefetching = MemoryHierarchy(HierarchyConfig(prefetch_degree=2), 1)
-        assert not prefetching.supports_batch
+    def run_general_parity(self, config, num_cores):
+        """Batch vs per-access parity on a non-simple configuration."""
+        addresses = self.ADDRESSES
+        sizes = [4] * len(addresses)
+        writes = [k % 3 == 0 for k in range(len(addresses))]
+        threads = [k % (num_cores + 1) for k in range(len(addresses))]
+        reference = MemoryHierarchy(config, num_cores)
+        expected = [
+            reference.access(t % num_cores, a, s, w)
+            for a, s, w, t in zip(addresses, sizes, writes, threads)
+        ]
+        hierarchy = MemoryHierarchy(config, num_cores)
+        assert hierarchy.supports_batch
+        got = hierarchy.access_batch(addresses, sizes, writes, threads)
+        assert got == expected
+        assert hierarchy.miss_summary() == reference.miss_summary()
+
+    def test_batch_covers_multicore_coherence(self):
+        # Two cores with the MESI directory engaged: the write and
+        # thread columns must reach the directory in trace order.
+        self.run_general_parity(HierarchyConfig(), 2)
+
+    def test_batch_covers_prefetcher(self):
+        self.run_general_parity(HierarchyConfig(prefetch_degree=2), 1)
+
+    def test_batch_covers_tlb(self):
+        config = HierarchyConfig(
+            tlb=TLBConfig(l1_entries=8, l1_ways=4, l2_entries=16, l2_ways=4)
+        )
+        self.run_general_parity(config, 1)
+
+    def test_every_configuration_supports_batch(self):
+        for config, cores in [
+            (HierarchyConfig(), 4),
+            (HierarchyConfig(prefetch_degree=2), 1),
+            (HierarchyConfig(tlb=TLBConfig()), 2),
+            (HierarchyConfig(replacement="random"), 3),
+        ]:
+            assert MemoryHierarchy(config, cores).supports_batch
+
+
+class TestVectorWalk:
+    """The numpy tag-array walk on large simple-config batches."""
+
+    def make(self, policy="lru", vector_min=1):
+        hier = MemoryHierarchy(HierarchyConfig(replacement=policy), 1)
+        hier.VECTOR_MIN_BATCH = vector_min
+        return hier
+
+    def columns(self):
+        # Hits, conflict evictions, duplicate missing lines in one
+        # batch (unsafe replay), and line-crossing splits.
+        config = HierarchyConfig()
+        line = config.line_size
+        addresses = (
+            [0, 64, 0, 4096, 64]
+            + [640 * k for k in range(96)]
+            + [640 * k for k in range(96)]
+            + [line - 4, 2 * line - 4]
+            + [0, 64, 4096, 0, 4096]
+        )
+        sizes = [4] * (len(addresses) - 7) + [8, 8] + [4] * 5
+        return addresses, sizes
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo"])
+    def test_vector_walk_matches_scalar(self, policy):
+        vectorwalk = pytest.importorskip("repro.memsim.vectorwalk")
+        assert vectorwalk.HAVE_NUMPY
+        addresses, sizes = self.columns()
+        reference = MemoryHierarchy(HierarchyConfig(replacement=policy), 1)
+        expected = [
+            reference.access(0, a, s, False)
+            for a, s in zip(addresses, sizes)
+        ]
+        hierarchy = self.make(policy)
+        got = hierarchy.access_batch(addresses, sizes)
+        assert hierarchy._vector_state == 1
+        assert list(got) == expected
+        for mine, theirs in zip(
+            (hierarchy.l3, hierarchy.cores[0].l1, hierarchy.cores[0].l2),
+            (reference.l3, reference.cores[0].l1, reference.cores[0].l2),
+        ):
+            assert (mine.hits, mine.misses, mine.evictions) == (
+                theirs.hits, theirs.misses, theirs.evictions
+            )
+        assert hierarchy.dram_accesses == reference.dram_accesses
+
+    def test_sequential_batches_share_state(self):
+        pytest.importorskip("repro.memsim.vectorwalk")
+        addresses, sizes = self.columns()
+        reference = MemoryHierarchy(HierarchyConfig(), 1)
+        hierarchy = self.make()
+        expected, got = [], []
+        for _ in range(3):
+            expected.extend(
+                reference.access(0, a, s, False)
+                for a, s in zip(addresses, sizes)
+            )
+            got.extend(hierarchy.access_batch(addresses, sizes))
+        assert got == expected
+        assert hierarchy.l3.hits == reference.l3.hits
+
+    def test_scalar_access_works_after_promotion(self):
+        # A promoted hierarchy must still serve per-access calls (the
+        # tag arrays implement the scalar protocol too).
+        pytest.importorskip("repro.memsim.vectorwalk")
+        addresses, sizes = self.columns()
+        reference = MemoryHierarchy(HierarchyConfig(), 1)
+        hierarchy = self.make()
+        assert list(hierarchy.access_batch(addresses, sizes)) == [
+            reference.access(0, a, s, False)
+            for a, s in zip(addresses, sizes)
+        ]
+        assert hierarchy.access(0, 12345, 4, False) == reference.access(
+            0, 12345, 4, False
+        )
+
+    def test_random_policy_never_promotes(self):
+        # Random replacement replays an RNG stream whose draw order the
+        # vector walk cannot reproduce: it must stay on the list walk.
+        addresses, sizes = self.columns()
+        hierarchy = self.make("random")
+        reference = MemoryHierarchy(HierarchyConfig(replacement="random"), 1)
+        expected = [
+            reference.access(0, a, s, False)
+            for a, s in zip(addresses, sizes)
+        ]
+        assert hierarchy.access_batch(addresses, sizes) == expected
+        assert hierarchy._vector_state == 0
+
+
+class TestExpansionProgress:
+    def test_expanded_batches_publish_progress_inside_the_loop(self, monkeypatch):
+        # When a hierarchy opts out of the columnar path the engine
+        # expands each batch per access; progress must be published at
+        # PROGRESS_EVERY granularity *inside* the expansion loop, not
+        # once per (potentially huge) batch.
+        import repro.memsim.engine as engine_mod
+        from repro.telemetry import events
+        from repro.telemetry.events import EventBus
+
+        monkeypatch.setattr(engine_mod, "PROGRESS_EVERY", 16)
+        monkeypatch.setattr(
+            MemoryHierarchy, "supports_batch", property(lambda self: False)
+        )
+        bound = program(Mod(affine("i", 1, 0), ELEMENTS), stop=200)
+        trace = list(Interpreter(bound).run_batched())
+        batches = [t for t in trace if isinstance(t, AccessBatch)]
+        assert batches and max(b.length for b in batches) > 64
+        seen = []
+        bus = EventBus()
+        bus.subscribe(
+            lambda e: seen.append(e) if e.type == "stage-progress" else None
+        )
+        with events.use(bus):
+            simulate(iter(trace), config=HierarchyConfig())
+        assert len(seen) >= 4
+        assert all(e.data["stage"] == "simulate" for e in seen)
+        dones = [e.data["done"] for e in seen]
+        assert dones == sorted(dones)
+        # Granularity: consecutive publications are ~PROGRESS_EVERY
+        # apart, so at least one pair lands inside a single batch.
+        assert min(b - a for a, b in zip(dones, dones[1:])) <= 2 * 16
 
 
 class TestSamplerBatch:

@@ -119,14 +119,34 @@ class TestStreamPrefetcher:
         pf = StreamPrefetcher(degree=1, threshold=2)
         pf.observe_miss(0)
         assert pf.observe_miss(1) == [2]
-        assert pf.observe_miss(2) == [3]
-        assert pf.issued == 2
+        # Line 2 was just prefetched, so the stream's next demand miss
+        # is line 3 — the head must have re-armed past the prefetches.
+        assert pf.observe_miss(3) == [4]
+        assert pf.observe_miss(5) == [6]
+        assert pf.issued == 3
+
+    def test_confirmed_stream_survives_many_bursts(self):
+        pf = StreamPrefetcher(degree=2, threshold=2)
+        assert pf.observe_miss(0) == []
+        assert pf.observe_miss(1) == [2, 3]
+        # Lines 2 and 3 hit; the stream's demand misses continue at 4.
+        assert pf.observe_miss(4) == [5, 6]
+        assert pf.observe_miss(7) == [8, 9]
+        assert pf.issued == 6
 
     def test_table_bounded(self):
         pf = StreamPrefetcher(degree=1, threshold=2, table_size=2)
         for line in range(0, 100, 10):
             pf.observe_miss(line)
-        assert len(pf._table) <= 3  # bounded around table_size
+        assert len(pf._table) <= 2
+
+    def test_table_bounded_on_confirmed_inserts(self):
+        # threshold=1 confirms every miss, so insertions all take the
+        # confirmed branch — the LRU bound must apply there too.
+        pf = StreamPrefetcher(degree=2, threshold=1, table_size=4)
+        for line in range(0, 1000, 10):
+            pf.observe_miss(line)
+        assert len(pf._table) <= 4
 
     def test_degree_zero_prefetches_nothing(self):
         pf = StreamPrefetcher(degree=0, threshold=1)

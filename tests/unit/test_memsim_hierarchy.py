@@ -90,6 +90,32 @@ class TestMultiCore:
             MemoryHierarchy(config(), num_cores=0)
 
 
+class TestPrefetchAccounting:
+    def test_long_stride_sustains_prefetching(self):
+        # A demand stream over 30 consecutive lines. After the stream
+        # confirms (two misses), every third line is a demand miss that
+        # re-triggers a burst of two prefetches — the stream must stay
+        # alive across bursts, not die after the first one.
+        cfg = HierarchyConfig(prefetch_degree=2)
+        hier = MemoryHierarchy(cfg, 1)
+        core = hier.cores[0]
+        for line in range(30):
+            hier.access(0, line * cfg.line_size, 8, False)
+        # Bursts fire at lines 1, 4, 7, ..., 28: ten in all.
+        assert core.prefetcher.issued == 20
+        # Every prefetched line except the final lookahead (line 30)
+        # was later demanded.
+        assert core.prefetch_useful == 19
+
+    def test_prefetch_hides_l2_miss_latency(self):
+        cfg = HierarchyConfig(prefetch_degree=2)
+        hier = MemoryHierarchy(cfg, 1)
+        for line in range(2):
+            hier.access(0, line * cfg.line_size, 8, False)
+        # Lines 2 and 3 were prefetched into L2 by the burst at line 1.
+        assert hier.access(0, 2 * cfg.line_size, 8, False) == cfg.l2.latency
+
+
 class TestCostModelAndSimulate:
     def _trace(self):
         yield MemoryAccess(0, 0x400000, 0x1000, 8, False, 1, 0)

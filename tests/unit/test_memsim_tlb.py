@@ -75,6 +75,27 @@ class TestHierarchyIntegration:
         summary = hier.miss_summary()
         assert summary["page_walks"] == 20
 
+    def test_page_crossing_access_translates_both_pages(self):
+        # An 8-byte access at page_size-4 touches two pages: both must
+        # be translated (two walks when cold), but the latency penalty
+        # is the max of the two — the walks overlap like the two line
+        # fetches of a split access.
+        tlb_cfg = TLBConfig()
+        config = HierarchyConfig(tlb=tlb_cfg)
+        with_tlb = MemoryHierarchy(config)
+        without = MemoryHierarchy(HierarchyConfig())
+        boundary = tlb_cfg.page_size - 4
+        a = with_tlb.access(0, boundary, 8, False)
+        b = without.access(0, boundary, 8, False)
+        assert with_tlb.cores[0].dtlb.walks == 2
+        assert a == b + tlb_cfg.walk_latency
+
+    def test_same_page_access_translates_once(self):
+        config = HierarchyConfig(tlb=TLBConfig())
+        hier = MemoryHierarchy(config)
+        hier.access(0, 0x1000, 8, False)
+        assert hier.cores[0].dtlb.walks == 1
+
     def test_splitting_reduces_page_walks(self):
         """The extension's point: a dense hot array spans fewer pages.
 
