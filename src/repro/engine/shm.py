@@ -1,0 +1,347 @@
+"""Process-mode simulate stage: zero-copy column hand-off over shm.
+
+:class:`RemoteHierarchy` looks exactly like
+:class:`repro.memsim.hierarchy.MemoryHierarchy` to the simulate loop —
+same ``access``/``access_batch``/counter surface — but the actual cache
+walk runs in a forked worker process. Batch columns travel through one
+``multiprocessing.shared_memory`` segment (request columns in, latency
+column out) with only a tiny control message per chunk on a pipe, so
+the hand-off cost is independent of chunk size. ``engine.simulate``
+stays the single accumulation path; results are byte-identical because
+the worker runs the very same hierarchy code on the very same column
+values in the same order.
+
+Segment hygiene is the hard part, and is centralized here:
+
+- every segment this process creates is recorded in a registry with its
+  creator pid;
+- :func:`cleanup_segments` closes and unlinks all of them, is
+  registered ``atexit``, and is installed as a telemetry incident hook
+  so SIGTERM / ``--deadline`` exits via ``crash_dump_scope`` also
+  reclaim ``/dev/shm`` (asserted by unit test on a killed run);
+- a fork-inherited registry copy refuses to unlink segments another
+  pid owns, and the forked worker leaves the (shared) resource tracker
+  alone — it doubles as a last-resort reaper if every process dies
+  uncleanly.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from array import array
+from typing import Dict, Optional, Tuple
+
+from ..memsim.hierarchy import HierarchyConfig
+
+_SEGMENT_PREFIX = "repro-shm"
+
+#: name -> (segment, creator pid). Module-global so *any* exit path can
+#: reclaim every segment the process still owns.
+_LIVE: Dict[str, Tuple[object, int]] = {}
+
+_hook_installed = False
+
+
+def _shared_memory():
+    from multiprocessing import shared_memory  # lazy: not on every platform
+
+    return shared_memory
+
+
+def _register(segment) -> None:
+    global _hook_installed
+    _LIVE[segment.name] = (segment, os.getpid())
+    if not _hook_installed:
+        _hook_installed = True
+        atexit.register(cleanup_segments)
+        from ..telemetry import live
+
+        live.register_incident_hook(cleanup_segments)
+
+
+def _forget(name: str) -> None:
+    _LIVE.pop(name, None)
+
+
+def cleanup_segments() -> int:
+    """Close and unlink every segment this process created; idempotent.
+
+    Returns the number of segments unlinked. Fork children inherit the
+    registry dict but not ownership: entries created by another pid are
+    dropped without unlinking.
+    """
+    unlinked = 0
+    for name, (segment, owner) in list(_LIVE.items()):
+        _LIVE.pop(name, None)
+        if owner != os.getpid():
+            continue
+        try:
+            segment.close()
+        except Exception:
+            pass
+        try:
+            segment.unlink()
+            unlinked += 1
+        except FileNotFoundError:
+            pass
+        except Exception:
+            pass
+    return unlinked
+
+
+def live_segment_names() -> Tuple[str, ...]:
+    """Names this process currently owns (for tests and stats)."""
+    pid = os.getpid()
+    return tuple(
+        name for name, (_, owner) in _LIVE.items() if owner == pid
+    )
+
+
+def _create_segment(nbytes: int):
+    shared_memory = _shared_memory()
+    name = f"{_SEGMENT_PREFIX}-{os.getpid()}-{len(_LIVE)}-{id(object())}"
+    segment = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+    _register(segment)
+    return segment
+
+
+def _attach_segment(name: str):
+    """Attach to an existing segment without claiming ownership.
+
+    The worker is forked, so it shares the parent's resource tracker:
+    attaching re-registers the same name there (a set add, idempotent)
+    and must NOT unregister — that would erase the parent's own
+    registration and make the parent's later unlink warn. The shared
+    tracker also doubles as a last-resort reaper if every process dies
+    without cleaning up.
+    """
+    shared_memory = _shared_memory()
+    return shared_memory.SharedMemory(name=name)
+
+
+# ---------------------------------------------------------------------------
+# Worker protocol
+# ---------------------------------------------------------------------------
+#
+# Request segment layout for a walk of n accesses (all int64):
+#   [0, 8n)    address     [8n, 16n)  size
+#   [16n, 24n) is_write    [24n, 32n) thread
+# The worker overwrites [32n, 40n) with the float64 latency column.
+
+
+def _worker_main(conn, config: HierarchyConfig, num_cores: int, name: str):
+    from ..memsim.hierarchy import MemoryHierarchy
+
+    segment = _attach_segment(name)
+    hier = MemoryHierarchy(config, num_cores)
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            op = msg[0]
+            try:
+                if op == "walk":
+                    n = msg[1]
+                    buf = segment.buf
+                    cols = []
+                    for i in range(4):
+                        col = array("q")
+                        col.frombytes(bytes(buf[i * 8 * n : (i + 1) * 8 * n]))
+                        cols.append(col)
+                    latencies = hier.access_batch(
+                        cols[0], cols[1], cols[2], cols[3]
+                    )
+                    if isinstance(latencies, list):
+                        out, kind = array("d", latencies), "list"
+                    else:
+                        import numpy as np
+
+                        out = array(
+                            "d",
+                            np.ascontiguousarray(
+                                latencies, dtype=np.float64
+                            ).tobytes(),
+                        )
+                        kind = "nd"
+                    buf[32 * n : 40 * n] = memoryview(out).cast("B")
+                    conn.send(("ok", kind))
+                elif op == "grow":
+                    segment.close()
+                    segment = _attach_segment(msg[1])
+                    conn.send(("ok", None))
+                elif op == "access":
+                    _, core, address, size, is_write = msg
+                    conn.send(("ok", hier.access(core, address, size, is_write)))
+                elif op == "counters":
+                    conn.send(
+                        (
+                            "ok",
+                            {
+                                "l1_misses": hier.l1_misses(),
+                                "l2_misses": hier.l2_misses(),
+                                "l3_misses": hier.l3_misses(),
+                                "dram_accesses": hier.dram_accesses,
+                                "invalidations": hier.invalidations,
+                            },
+                        )
+                    )
+                elif op == "close":
+                    conn.send(("ok", None))
+                    break
+                else:
+                    conn.send(("exc", RuntimeError(f"bad op {op!r}")))
+            except BaseException as exc:  # ship the walk's exact error back
+                try:
+                    conn.send(("exc", exc))
+                except Exception:
+                    break
+    finally:
+        try:
+            segment.close()
+        except Exception:
+            pass
+        conn.close()
+
+
+class RemoteHierarchy:
+    """Drop-in hierarchy whose walk stage lives in a worker process."""
+
+    #: Initial segment size; grown (never shrunk) to fit the largest
+    #: chunk seen. 40 bytes/access covers the 4 in + 1 out columns.
+    MIN_BYTES = 1 << 20
+
+    def __init__(self, config: HierarchyConfig, num_cores: int) -> None:
+        self.config = config
+        self.num_cores = num_cores
+        self._segment = _create_segment(self.MIN_BYTES)
+        ctx = multiprocessing.get_context("fork")
+        self._conn, child = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=_worker_main,
+            args=(child, config, num_cores, self._segment.name),
+            daemon=True,
+            name="repro-shm-simulate",
+        )
+        self._proc.start()
+        child.close()
+        self._closed = False
+
+    @property
+    def supports_batch(self) -> bool:
+        return True
+
+    def _rpc(self, *msg):
+        self._conn.send(msg)
+        try:
+            status, value = self._conn.recv()
+        except (EOFError, OSError):
+            raise RuntimeError("shm simulate worker died") from None
+        if status == "exc":
+            raise value
+        return value
+
+    def _ensure(self, nbytes: int) -> None:
+        if self._segment.size >= nbytes:
+            return
+        old = self._segment
+        self._segment = _create_segment(max(nbytes, old.size * 2))
+        self._rpc("grow", self._segment.name)
+        old.close()
+        try:
+            old.unlink()
+        except FileNotFoundError:
+            pass
+        _forget(old.name)
+
+    # -- the hierarchy surface engine.simulate uses -------------------------
+
+    def access(self, core_id: int, address: int, size: int, is_write: bool):
+        return self._rpc("access", core_id, address, size, bool(is_write))
+
+    def access_batch(self, addresses, sizes, is_write=None, thread=None):
+        n = len(addresses)
+        self._ensure(40 * n)
+        buf = self._segment.buf
+        zeros = None
+        for i, col in enumerate((addresses, sizes, is_write, thread)):
+            if col is None:
+                if zeros is None:
+                    zeros = bytes(8 * n)
+                buf[i * 8 * n : (i + 1) * 8 * n] = zeros
+            else:
+                buf[i * 8 * n : (i + 1) * 8 * n] = memoryview(col).cast("B")
+        kind = self._rpc("walk", n)
+        out = array("d")
+        out.frombytes(bytes(buf[32 * n : 40 * n]))
+        if kind == "list":
+            return out.tolist()
+        import numpy as np
+
+        return np.frombuffer(out, dtype=np.float64)
+
+    def l1_misses(self) -> int:
+        return self._counters()["l1_misses"]
+
+    def l2_misses(self) -> int:
+        return self._counters()["l2_misses"]
+
+    def l3_misses(self) -> int:
+        return self._counters()["l3_misses"]
+
+    @property
+    def dram_accesses(self) -> int:
+        return self._counters()["dram_accesses"]
+
+    @property
+    def invalidations(self) -> int:
+        return self._counters()["invalidations"]
+
+    def _counters(self) -> dict:
+        # One RPC per metrics read at run end; walks invalidate nothing
+        # because the dict is fetched fresh each time.
+        return self._rpc("counters")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._rpc("close")
+        except Exception:
+            pass
+        try:
+            self._conn.close()
+        except Exception:
+            pass
+        self._proc.join(timeout=5.0)
+        if self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(timeout=5.0)
+        self._segment.close()
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:
+            pass
+        _forget(self._segment.name)
+
+    def __enter__(self) -> "RemoteHierarchy":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def process_mode_available() -> bool:
+    """Whether the worker-process simulate stage can run here."""
+    try:
+        _shared_memory()
+    except Exception:
+        return False
+    return hasattr(os, "fork")

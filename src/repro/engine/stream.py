@@ -1,0 +1,222 @@
+"""Chunk-granular software pipeline over the trace item stream.
+
+:func:`pipelined` wraps any trace-item iterator so that the upstream
+work (interpreting, or replaying a stored trace) happens in a producer
+thread while the caller — the simulate/sample loop — consumes from a
+bounded queue. Items arrive in exactly the order the upstream iterator
+yields them, so every downstream result is byte-identical to the serial
+run; the only thing that changes is *when* the interpret work happens.
+
+The queue is bounded (:data:`QUEUE_DEPTH` chunks) so a fast interpreter
+cannot balloon memory: a full queue blocks the producer (a *producer
+stall*, meaning simulate is the bottleneck), an empty queue blocks the
+consumer (a *consumer stall*, meaning interpret is). Both stall clocks
+and the producer's busy clock are recorded on a :class:`PipelineStats`,
+which is what the bench history's overlap rollup and ``repro
+attribute``'s busy-time attribution read — wall-clock spans alone
+double-count once stages overlap.
+
+When a live telemetry bus is attached the pipeline publishes sampled
+``queue-depth`` events while running and one cumulative ``stall`` event
+per stage at the end.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+from time import perf_counter
+from typing import Iterable, Iterator, Optional
+
+from ..telemetry import events
+
+#: Chunks buffered between producer and consumer. A chunk is up to
+#: ``CHUNK_ROUNDS`` rounds of columns (~a few MB); eight bounds peak
+#: extra memory while riding out stage-speed jitter.
+QUEUE_DEPTH = 8
+
+#: Produced items between ``queue-depth`` publications on a live bus.
+DEPTH_EVERY = 32
+
+#: Poll interval for cancellable blocking queue operations.
+_POLL = 0.05
+
+_DONE = object()
+
+
+class _Raised:
+    """Carries a producer-side exception across the queue."""
+
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: BaseException) -> None:
+        self.exc = exc
+
+
+class PipelineStats:
+    """Per-stage busy/stall accounting for one pipelined run.
+
+    ``producer_busy_s`` is time actually spent pulling items from the
+    upstream iterator (the interpret/replay stage's busy time);
+    ``producer_stall_s`` is time the producer sat on a full queue;
+    ``consumer_stall_s`` is time the consumer sat on an empty one.
+    ``overlap_seconds(wall)`` estimates how much interpret work was
+    hidden under the consumer's stages for a measured wall time.
+    """
+
+    __slots__ = (
+        "mode",
+        "produced",
+        "consumed",
+        "producer_busy_s",
+        "producer_stall_s",
+        "consumer_stall_s",
+        "max_depth",
+        "replayed",
+        "interpret_skipped",
+    )
+
+    def __init__(self) -> None:
+        self.mode = "off"
+        self.produced = 0
+        self.consumed = 0
+        self.producer_busy_s = 0.0
+        self.producer_stall_s = 0.0
+        self.consumer_stall_s = 0.0
+        self.max_depth = 0
+        #: Trace-store bookkeeping, filled in by the monitor: whether
+        #: the item stream came from a replay, and how many interpret
+        #: items that skipped.
+        self.replayed = False
+        self.interpret_skipped = 0
+
+    def overlap_seconds(self, wall_seconds: float) -> float:
+        """Interpret-stage work hidden under consumer time."""
+        return max(0.0, min(self.producer_busy_s,
+                            wall_seconds - self.consumer_stall_s))
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "produced": self.produced,
+            "consumed": self.consumed,
+            "producer_busy_s": self.producer_busy_s,
+            "producer_stall_s": self.producer_stall_s,
+            "consumer_stall_s": self.consumer_stall_s,
+            "max_depth": self.max_depth,
+            "replayed": self.replayed,
+            "interpret_skipped": self.interpret_skipped,
+        }
+
+
+def resolve_mode(pipeline: str) -> bool:
+    """Whether ``--pipeline {off,on,auto}`` enables the producer thread.
+
+    ``auto`` turns the pipeline on only when a second CPU exists to run
+    the producer — on a single core the overlap cannot reduce wall time
+    and the queue hand-off would only add overhead.
+    """
+    if pipeline == "on":
+        return True
+    if pipeline == "auto":
+        return (os.cpu_count() or 1) > 1
+    if pipeline == "off":
+        return False
+    raise ValueError(f"unknown pipeline mode {pipeline!r}")
+
+
+def pipelined(
+    items: Iterable,
+    *,
+    depth: int = QUEUE_DEPTH,
+    stats: Optional[PipelineStats] = None,
+    stage: str = "interpret",
+) -> Iterator:
+    """Yield ``items`` produced by a background thread, order-preserved.
+
+    The producer pulls from ``items`` (doing the upstream stage's work
+    on its thread) into a bounded queue; this generator drains it.
+    Exceptions raised upstream re-raise here, at the position in the
+    stream where they occurred. Closing the generator early cancels and
+    joins the producer.
+    """
+    if stats is None:
+        stats = PipelineStats()
+    stats.mode = "thread"
+    q: "queue.Queue" = queue.Queue(maxsize=depth)
+    cancel = threading.Event()
+    bus = events.bus()
+
+    def _put(item) -> bool:
+        t0 = perf_counter()
+        while not cancel.is_set():
+            try:
+                q.put(item, timeout=_POLL)
+                break
+            except queue.Full:
+                continue
+        else:
+            return False
+        stats.producer_stall_s += perf_counter() - t0
+        return True
+
+    def produce() -> None:
+        produced = 0
+        mark = DEPTH_EVERY if bus.active else 0
+        try:
+            it = iter(items)
+            while not cancel.is_set():
+                t0 = perf_counter()
+                try:
+                    item = next(it)
+                except StopIteration:
+                    break
+                stats.producer_busy_s += perf_counter() - t0
+                if not _put(item):
+                    return
+                produced += 1
+                stats.produced = produced
+                size = q.qsize()
+                if size > stats.max_depth:
+                    stats.max_depth = size
+                if mark and produced >= mark:
+                    mark = produced + DEPTH_EVERY
+                    bus.publish("queue-depth", stage=stage, depth=size,
+                                capacity=depth, produced=produced)
+        except BaseException as exc:  # re-raised on the consumer side
+            _put(_Raised(exc))
+            return
+        _put(_DONE)
+
+    worker = threading.Thread(
+        target=produce, name="repro-pipeline-producer", daemon=True
+    )
+    worker.start()
+    try:
+        while True:
+            try:
+                item = q.get_nowait()
+            except queue.Empty:
+                t0 = perf_counter()
+                item = q.get()
+                stats.consumer_stall_s += perf_counter() - t0
+            if item is _DONE:
+                break
+            if type(item) is _Raised:
+                raise item.exc
+            stats.consumed += 1
+            yield item
+    finally:
+        cancel.set()
+        while True:
+            try:
+                q.get_nowait()
+            except queue.Empty:
+                break
+        worker.join(timeout=5.0)
+        if bus.active:
+            bus.publish("stall", stage=stage, kind="producer",
+                        seconds=stats.producer_stall_s)
+            bus.publish("stall", stage="simulate", kind="consumer",
+                        seconds=stats.consumer_stall_s)

@@ -54,11 +54,14 @@ def run_benchmark(
     analyzer: Optional[OfflineAnalyzer] = None,
     seed: int = 0,
     engine: str = "batched",
+    pipeline: str = "off",
+    trace_store: Union[str, Path, None] = None,
 ) -> OptimizationResult:
     """One benchmark through the full profile->advise->split cycle."""
     workload = TABLE2_WORKLOADS[name](scale=scale)
     monitor = Monitor(
-        sampling_period=workload.recommended_period, seed=seed, engine=engine
+        sampling_period=workload.recommended_period, seed=seed, engine=engine,
+        pipeline=pipeline, trace_store=trace_store,
     )
     return optimize(workload, monitor=monitor, analyzer=analyzer)
 
@@ -118,6 +121,8 @@ def run_all(
     base_seed: int = 0,
     runner_stats=None,
     engine: str = "batched",
+    pipeline: str = "off",
+    trace_store: Union[str, Path, None] = None,
 ) -> Dict[str, object]:
     """All (or the named subset of) Table 2 benchmarks.
 
@@ -135,17 +140,23 @@ def run_all(
     if jobs <= 1 and cache is None:
         return {
             name: run_benchmark(
-                name, scale=scale, seed=base_seed + rank, engine=engine
+                name, scale=scale, seed=base_seed + rank, engine=engine,
+                pipeline=pipeline, trace_store=trace_store,
             )
             for rank, name in enumerate(chosen)
         }
     from ..runner import TaskSpec, derive_seed, run_tasks
 
+    params: Dict[str, object] = {"scale": scale, "engine": engine}
+    if pipeline != "off":
+        params["pipeline"] = pipeline
+    if trace_store:
+        params["trace_store"] = str(trace_store)
     specs = [
         TaskSpec(
             kind="optimize",
             name=name,
-            params={"scale": scale, "engine": engine},
+            params=dict(params),
             seed=derive_seed(base_seed, rank),
         )
         for rank, name in enumerate(chosen)

@@ -134,6 +134,9 @@ class MemoryHierarchy:
         )
         self._vector_state = 0
         self._vector_slow_batches = 0
+        # Steady-state walk memo, attached at vector promotion (see
+        # repro.memsim.memo); None until then or when disabled.
+        self._walk_memo = None
 
     # -- main access path ------------------------------------------------
 
@@ -256,12 +259,20 @@ class MemoryHierarchy:
         state = self._vector_state
         if state >= 0 and vectorwalk.HAVE_NUMPY:
             if state == 1:
+                if self._walk_memo is not None:
+                    return self._walk_memo.walk(
+                        self, addresses, sizes, is_write
+                    )
                 return vectorwalk.walk_batch(self, addresses, sizes, is_write)
             if (
                 len(addresses) >= self.VECTOR_MIN_BATCH
                 and self.config.replacement != "random"
             ):
                 self._promote_to_vector()
+                if self._walk_memo is not None:
+                    return self._walk_memo.walk(
+                        self, addresses, sizes, is_write
+                    )
                 return vectorwalk.walk_batch(self, addresses, sizes, is_write)
         cfg = self.config
         core = self.cores[0]
@@ -457,11 +468,15 @@ class MemoryHierarchy:
 
     def _promote_to_vector(self) -> None:
         """Convert the simple machine's caches to tag arrays."""
+        from . import memo
+
         core = self.cores[0]
         core.l1 = vectorwalk.TagArrayCache(core.l1)
         core.l2 = vectorwalk.TagArrayCache(core.l2)
         self.l3 = vectorwalk.TagArrayCache(self.l3)
         self._vector_state = 1
+        if memo.enabled():
+            self._walk_memo = memo.WalkMemo()
 
     def _demote_from_vector(self) -> None:
         """Back to list caches, for workloads the vector walk dislikes."""
@@ -531,6 +546,20 @@ class MemoryHierarchy:
         registry.counter(
             "repro_memsim_dram_accesses_total", help="DRAM line fetches",
         ).add(self.dram_accesses)
+        if self._walk_memo is not None:
+            memo = self._walk_memo
+            registry.counter(
+                "repro_memsim_walk_memo_hits_total",
+                help="batch walks replayed from the steady-state memo",
+            ).add(memo.hits)
+            registry.counter(
+                "repro_memsim_walk_memo_misses_total",
+                help="batch walks with no usable memo entry",
+            ).add(memo.misses)
+            registry.counter(
+                "repro_memsim_walk_memo_stale_total",
+                help="memo entries invalidated by a pre-state mismatch",
+            ).add(memo.stale)
         registry.counter(
             "repro_memsim_prefetch_issued_total",
             help="L2 streamer prefetches issued",

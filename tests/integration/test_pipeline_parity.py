@@ -1,0 +1,147 @@
+"""Streaming-engine parity: pipelined and replayed runs are identical.
+
+The acceptance bar for the streaming engine: ``--pipeline on`` and
+``--trace-store`` must never change a byte of any command's stdout —
+analyze, optimize, table3, sensitivity — and a warm trace-store run
+must visibly skip the interpret stage (the runner-stats line and the
+``replay-hit`` bus event are the proof CI greps for).
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import run_all, sweep_sampling_period
+from repro.experiments.optimization import results_json
+from repro.program.store import session_counters
+from repro.telemetry import events, to_jsonable
+from repro.workloads import TABLE2_WORKLOADS
+
+NAMES = ["462.libquantum", "Mser"]
+SCALE = 0.15
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def canonical(results):
+    return json.dumps(to_jsonable(results_json(results)), sort_keys=True)
+
+
+class TestAnalyzeParity:
+    def test_pipelined_and_replayed_stdout_identical(self, tmp_path):
+        base = ("analyze", "462.libquantum", "--scale", "0.1")
+        code, serial = run_cli(*base)
+        assert code == 0
+        code, piped = run_cli(*base, "--pipeline", "on")
+        assert code == 0
+        assert piped == serial
+        store = ("--trace-store", str(tmp_path / "ts"))
+        _, cold = run_cli(*base, "--pipeline", "on", *store)
+        _, warm = run_cli(*base, "--pipeline", "on", *store)
+        assert cold == serial
+        assert warm == serial
+
+
+class TestOptimizeParity:
+    def test_pipelined_and_replayed_stdout_identical(self, tmp_path):
+        base = ("optimize", "462.libquantum", "--scale", "0.1")
+        code, serial = run_cli(*base)
+        assert code == 0
+        store = ("--trace-store", str(tmp_path / "ts"))
+        _, cold = run_cli(*base, "--pipeline", "on", *store)
+        _, warm = run_cli(*base, *store)
+        assert cold == serial
+        assert warm == serial
+
+
+class TestTable3Parity:
+    def test_pipelined_results_identical(self, tmp_path):
+        serial = run_all(scale=SCALE, names=NAMES)
+        piped = run_all(scale=SCALE, names=NAMES, pipeline="on",
+                        trace_store=tmp_path / "ts")
+        warm = run_all(scale=SCALE, names=NAMES,
+                       trace_store=tmp_path / "ts")
+        assert canonical(piped) == canonical(serial)
+        assert canonical(warm) == canonical(serial)
+
+
+class TestSensitivityReplay:
+    def test_sweep_interprets_once_and_warm_runs_zero_times(self, tmp_path):
+        workload = TABLE2_WORKLOADS["Mser"](scale=SCALE)
+        periods = [127, 509, 2003]
+        serial = sweep_sampling_period(workload, periods)
+
+        before = session_counters()
+        cold = sweep_sampling_period(workload, periods,
+                                     trace_store=tmp_path / "ts")
+        mid = session_counters()
+        warm = sweep_sampling_period(workload, periods,
+                                     trace_store=tmp_path / "ts")
+        after = session_counters()
+
+        assert cold == serial
+        assert warm == serial
+        # Cold sweep: one capture, every later period replays.
+        assert mid["captures"] - before["captures"] == 1
+        assert mid["replays"] - before["replays"] == len(periods) - 1
+        # Warm sweep: zero interpreter runs.
+        assert after["captures"] == mid["captures"]
+        assert after["replays"] - mid["replays"] == len(periods)
+        assert after["interpret_skipped"] > mid["interpret_skipped"]
+
+    def test_warm_run_reports_skipped_interpret_work(self, tmp_path):
+        # Fresh processes, so the session counters on the stats line are
+        # this run's alone: the warm process must capture *nothing*.
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        argv = [sys.executable, "-m", "repro", "sensitivity", "Mser",
+                "--scale", "0.15", "--periods", "127", "509",
+                "--trace-store", str(tmp_path / "ts")]
+        cold = subprocess.run(argv, capture_output=True, text=True, env=env)
+        warm = subprocess.run(argv, capture_output=True, text=True, env=env)
+        assert cold.returncode == 0 and warm.returncode == 0
+        assert warm.stdout == cold.stdout
+        assert "trace store:" in warm.stderr
+        assert "interpret-skipped" in warm.stderr
+        assert "0 capture(s)" in warm.stderr
+        assert "2 replay(s)" in warm.stderr
+
+
+class TestReplayHitEvents:
+    def test_replay_hit_published_on_live_bus(self, tmp_path):
+        from repro.profiler.monitor import Monitor
+        from repro.workloads.art import ArtWorkload
+
+        workload = ArtWorkload(scale=0.05)
+        bound = workload.build_original()
+        store = str(tmp_path / "ts")
+        Monitor(sampling_period=workload.recommended_period,
+                trace_store=store).run(bound, num_threads=1)
+
+        bus = events.EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        previous = events.install(bus)
+        try:
+            monitor = Monitor(sampling_period=workload.recommended_period,
+                              trace_store=store)
+            monitor.run(bound, num_threads=1)
+        finally:
+            events.install(previous)
+        hits = [e for e in seen if e.type == "replay-hit"]
+        assert len(hits) == 1
+        assert hits[0].data["accesses"] > 0
+        assert monitor.replay_hits == 1
+        assert monitor.interpret_skipped == hits[0].data["accesses"]

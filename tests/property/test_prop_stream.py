@@ -1,0 +1,129 @@
+"""Property: streaming execution never changes a single byte.
+
+Two contracts from the pipelined engine and the trace store:
+
+- Wrapping the trace in :func:`repro.engine.pipelined` (any queue
+  depth) produces results identical to consuming the iterator inline,
+  across the whole configuration space — engine mode, core count,
+  prefetch, TLB, cache geometry.
+- Replaying a captured trace (cold capture and warm replay alike) is
+  indistinguishable from re-interpreting: same metrics, same cache
+  counters, same sampler RNG state.
+"""
+
+import dataclasses
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import pipelined
+from repro.memsim.engine import simulate
+from repro.memsim.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.memsim.tlb import TLBConfig
+from repro.program.interp import Interpreter
+from repro.program.store import TraceStore
+from repro.sampling.pebs import PEBSLoadLatencySampler
+from tests.property.test_prop_engine_parity import bodies, build
+
+SMALL_TLB = TLBConfig(l1_entries=8, l1_ways=4, l2_entries=16, l2_ways=4)
+
+
+def fingerprint(metrics, hierarchy, sampler):
+    levels = [hierarchy.l3] + [
+        cache for core in hierarchy.cores for cache in (core.l1, core.l2)
+    ]
+    return (
+        metrics,
+        [(c.hits, c.misses, c.evictions) for c in levels],
+        hierarchy.dram_accesses,
+        hierarchy.miss_summary(),
+        (
+            sampler.samples,
+            sampler.total_accesses,
+            sampler.eligible_accesses,
+            sampler.periods_drawn,
+            sampler._countdown,
+        ),
+    )
+
+
+def run_once(bound, num_threads, batched, config, *, depth=None, store=None):
+    """One simulate+sample pass; optionally pipelined and/or store-routed."""
+    interp = Interpreter(bound, num_threads=num_threads)
+    trace = interp.run_batched() if batched else interp.run()
+    replayed = None
+    if store is not None:
+        key = store.key_for(
+            bound, num_threads, mode="batched" if batched else "scalar"
+        )
+        trace, replayed, _ = store.fetch(key, lambda: trace)
+    if depth is not None:
+        trace = pipelined(trace, depth=depth)
+    sampler = PEBSLoadLatencySampler(7, jitter=0.2, seed=3)
+    hierarchy = MemoryHierarchy(config, num_threads)
+    metrics = simulate(trace, hierarchy=hierarchy, observer=sampler.observe)
+    return fingerprint(metrics, hierarchy, sampler), replayed
+
+
+class TestPipelinedParity:
+    @given(
+        bodies(),
+        st.integers(1, 3),
+        st.booleans(),
+        st.sampled_from([0, 2]),
+        st.sampled_from([None, SMALL_TLB]),
+        st.sampled_from([1, 2, 8]),
+        st.booleans(),
+    )
+    @settings(deadline=None, max_examples=25)
+    def test_pipelined_equals_serial_everywhere(
+        self, body, num_threads, batched, degree, tlb, depth, small_geom
+    ):
+        bound = build(body)
+        base = HierarchyConfig.small() if small_geom else HierarchyConfig()
+        config = dataclasses.replace(base, prefetch_degree=degree, tlb=tlb)
+        serial, _ = run_once(bound, num_threads, batched, config)
+        piped, _ = run_once(bound, num_threads, batched, config, depth=depth)
+        assert piped == serial
+
+
+class TestTraceStoreParity:
+    @given(bodies(), st.integers(1, 3), st.booleans())
+    @settings(deadline=None, max_examples=20)
+    def test_cold_and_warm_replay_equal_reinterpreting(
+        self, body, num_threads, batched
+    ):
+        bound = build(body)
+        config = HierarchyConfig.small()
+        serial, _ = run_once(bound, num_threads, batched, config)
+        with tempfile.TemporaryDirectory() as root:
+            store = TraceStore(root)
+            cold, cold_replayed = run_once(
+                bound, num_threads, batched, config, store=store
+            )
+            warm, warm_replayed = run_once(
+                bound, num_threads, batched, config, store=store
+            )
+            assert cold_replayed is False
+            assert warm_replayed is True
+            assert store.captures == 1 and store.replays == 1
+        assert cold == serial
+        assert warm == serial
+
+    @given(bodies(), st.integers(1, 3))
+    @settings(deadline=None, max_examples=10)
+    def test_replay_through_the_pipeline_is_identical_too(
+        self, body, num_threads
+    ):
+        bound = build(body)
+        config = HierarchyConfig.small()
+        serial, _ = run_once(bound, num_threads, True, config)
+        with tempfile.TemporaryDirectory() as root:
+            store = TraceStore(root)
+            run_once(bound, num_threads, True, config, store=store)
+            warm, replayed = run_once(
+                bound, num_threads, True, config, store=store, depth=4
+            )
+            assert replayed is True
+        assert warm == serial

@@ -1,0 +1,166 @@
+"""Unit tests for the shared-memory process-mode simulate stage.
+
+The contract under test: :class:`RemoteHierarchy` is byte-identical to
+an in-process :class:`MemoryHierarchy`, and *no* exit path — clean
+close, interpreter exit, or SIGTERM through ``crash_dump_scope`` —
+leaves a segment behind in ``/dev/shm``.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from array import array
+from pathlib import Path
+
+import pytest
+
+from repro.engine import shm
+from repro.memsim.hierarchy import HierarchyConfig, MemoryHierarchy
+
+pytestmark = pytest.mark.skipif(
+    not shm.process_mode_available(),
+    reason="multiprocessing.shared_memory or fork unavailable",
+)
+
+
+def columns(n=256, stride=48):
+    addresses = array("q", [(i * stride) % 4096 for i in range(n)])
+    sizes = array("q", [8] * n)
+    is_write = array("q", [i % 3 == 0 for i in range(n)])
+    thread = array("q", [0] * n)
+    return addresses, sizes, is_write, thread
+
+
+def segment_exists(name):
+    from multiprocessing import shared_memory
+
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    seg.close()
+    return True
+
+
+class TestByteIdentity:
+    def test_batch_walk_matches_local_hierarchy(self):
+        config = HierarchyConfig.small()
+        local = MemoryHierarchy(config, 1)
+        cols = columns()
+        expected = list(local.access_batch(*cols))
+        with shm.RemoteHierarchy(config, 1) as remote:
+            got = list(remote.access_batch(*columns()))
+            assert got == expected
+            assert remote.l1_misses() == local.l1_misses()
+            assert remote.l2_misses() == local.l2_misses()
+            assert remote.l3_misses() == local.l3_misses()
+            assert remote.dram_accesses == local.dram_accesses
+            assert remote.invalidations == local.invalidations
+
+    def test_scalar_access_matches_local_hierarchy(self):
+        config = HierarchyConfig.small()
+        local = MemoryHierarchy(config, 1)
+        with shm.RemoteHierarchy(config, 1) as remote:
+            for address in (0, 64, 0, 4096, 64):
+                assert remote.access(0, address, 8, False) == local.access(
+                    0, address, 8, False
+                )
+
+    def test_segment_grows_to_fit_large_chunks(self):
+        config = HierarchyConfig.small()
+        local = MemoryHierarchy(config, 1)
+        n = (shm.RemoteHierarchy.MIN_BYTES // 40) + 1000
+        cols = columns(n=n)
+        expected = list(local.access_batch(*cols))
+        with shm.RemoteHierarchy(config, 1) as remote:
+            got = list(remote.access_batch(*columns(n=n)))
+            assert got == expected
+            # Growth replaced the segment; exactly one is still live.
+            assert len(shm.live_segment_names()) == 1
+
+
+class TestCleanup:
+    def test_close_unlinks_segment_and_registry(self):
+        remote = shm.RemoteHierarchy(HierarchyConfig.small(), 1)
+        name = remote._segment.name
+        assert name in shm.live_segment_names()
+        assert segment_exists(name)
+        remote.close()
+        assert name not in shm.live_segment_names()
+        assert not segment_exists(name)
+        remote.close()  # idempotent
+
+    def test_cleanup_segments_reclaims_everything(self):
+        remote = shm.RemoteHierarchy(HierarchyConfig.small(), 1)
+        name = remote._segment.name
+        assert shm.cleanup_segments() >= 1
+        assert not segment_exists(name)
+        assert shm.live_segment_names() == ()
+        # The segment is gone under the remote; retire its worker too.
+        remote._closed = True
+        remote._conn.close()
+        remote._proc.join(timeout=5.0)
+
+
+CHILD = textwrap.dedent(
+    """
+    import sys, time
+    from repro.engine.shm import RemoteHierarchy
+    from repro.memsim.hierarchy import HierarchyConfig
+    from repro.telemetry.live import FlightRecorder, crash_dump_scope
+
+    with crash_dump_scope(FlightRecorder(), sys.argv[1]):
+        remote = RemoteHierarchy(HierarchyConfig.small(), 1)
+        print("READY", remote._segment.name, flush=True)
+        time.sleep(60)
+    """
+)
+
+
+class TestSigtermLeak:
+    @pytest.mark.skipif(
+        not hasattr(signal, "SIGTERM"), reason="no SIGTERM on this platform"
+    )
+    def test_killed_run_leaves_no_shm_segments(self, tmp_path):
+        """Satellite contract: SIGTERM mid-run reclaims /dev/shm.
+
+        A child process opens a RemoteHierarchy inside crash_dump_scope
+        (the path every ``--live``/``--deadline`` run uses), then hangs;
+        we SIGTERM it and assert its segment is gone afterward — the
+        incident hook, not the child's atexit, must have unlinked it.
+        """
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", CHILD, str(tmp_path / "flight.json")],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            line = proc.stdout.readline().split()
+            assert line and line[0] == "READY", "child failed to start"
+            name = line[1]
+            assert segment_exists(name)
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 143
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+            proc.stdout.close()
+        # The dump ran (proof the incident path executed) ...
+        assert (tmp_path / "flight.json").exists()
+        # ... and reclaimed the segment: nothing leaked.
+        deadline = time.monotonic() + 5.0
+        while segment_exists(name):
+            assert time.monotonic() < deadline, f"leaked segment {name}"
+            time.sleep(0.05)
+        leftovers = [
+            p for p in Path("/dev/shm").glob("repro-shm-*")
+        ] if Path("/dev/shm").is_dir() else []
+        assert not any(str(proc.pid) in p.name for p in leftovers)

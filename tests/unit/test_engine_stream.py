@@ -1,0 +1,145 @@
+"""Unit tests for the chunk-granular software pipeline."""
+
+import threading
+import time
+
+import pytest
+
+from repro.engine import PipelineStats, pipelined, resolve_mode
+from repro.telemetry import events
+
+
+class TestResolveMode:
+    def test_on_and_off(self):
+        assert resolve_mode("on") is True
+        assert resolve_mode("off") is False
+
+    def test_auto_follows_cpu_count(self):
+        import os
+
+        assert resolve_mode("auto") == ((os.cpu_count() or 1) > 1)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_mode("sideways")
+
+
+class TestOrderAndStats:
+    def test_preserves_order_exactly(self):
+        items = list(range(500))
+        assert list(pipelined(iter(items))) == items
+
+    def test_counts_and_mode(self):
+        stats = PipelineStats()
+        out = list(pipelined(iter(range(100)), stats=stats))
+        assert out == list(range(100))
+        assert stats.mode == "thread"
+        assert stats.produced == 100
+        assert stats.consumed == 100
+        assert stats.producer_busy_s >= 0.0
+        assert stats.producer_stall_s >= 0.0
+        assert stats.consumer_stall_s >= 0.0
+
+    def test_queue_depth_respects_bound(self):
+        stats = PipelineStats()
+        list(pipelined(iter(range(200)), depth=2, stats=stats))
+        assert 0 <= stats.max_depth <= 2
+
+    def test_empty_stream(self):
+        stats = PipelineStats()
+        assert list(pipelined(iter(()), stats=stats)) == []
+        assert stats.produced == 0 and stats.consumed == 0
+
+    def test_overlap_estimate_is_clamped(self):
+        stats = PipelineStats()
+        stats.producer_busy_s = 2.0
+        stats.consumer_stall_s = 0.5
+        assert stats.overlap_seconds(1.0) == 0.5
+        assert stats.overlap_seconds(10.0) == 2.0
+        assert stats.overlap_seconds(0.0) == 0.0
+
+    def test_to_dict_round_trips_every_slot(self):
+        stats = PipelineStats()
+        list(pipelined(iter(range(10)), stats=stats))
+        d = stats.to_dict()
+        assert d["mode"] == "thread"
+        assert d["produced"] == d["consumed"] == 10
+        assert set(d) == {
+            "mode", "produced", "consumed", "producer_busy_s",
+            "producer_stall_s", "consumer_stall_s", "max_depth",
+            "replayed", "interpret_skipped",
+        }
+
+
+class TestExceptions:
+    def test_upstream_error_reraises_at_stream_position(self):
+        def upstream():
+            yield 1
+            yield 2
+            raise ValueError("boom at three")
+
+        got = []
+        with pytest.raises(ValueError, match="boom at three"):
+            for item in pipelined(upstream()):
+                got.append(item)
+        assert got == [1, 2]
+
+    def test_consumer_side_error_cancels_producer(self):
+        produced = []
+
+        def upstream():
+            for i in range(10_000):
+                produced.append(i)
+                yield i
+
+        gen = pipelined(upstream(), depth=2)
+        with pytest.raises(RuntimeError):
+            for item in gen:
+                raise RuntimeError("consumer dies")
+        # The producer was cancelled: it cannot have drained the whole
+        # upstream through a depth-2 queue after one consumed item.
+        time.sleep(0.2)
+        assert len(produced) < 10_000
+
+
+class TestEarlyClose:
+    def test_close_joins_producer_thread(self):
+        before = threading.active_count()
+        gen = pipelined(iter(range(1_000_000)), depth=2)
+        assert next(gen) == 0
+        gen.close()
+        deadline = time.monotonic() + 5.0
+        while threading.active_count() > before:
+            assert time.monotonic() < deadline, "producer thread leaked"
+            time.sleep(0.01)
+
+
+class TestBusEvents:
+    def test_stall_events_published_on_live_bus(self):
+        bus = events.EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        previous = events.install(bus)
+        try:
+            list(pipelined(iter(range(100))))
+        finally:
+            events.install(previous)
+        kinds = {e.type for e in seen}
+        assert "stall" in kinds
+        stages = {e.data["stage"] for e in seen if e.type == "stall"}
+        assert stages == {"interpret", "simulate"}
+
+    def test_queue_depth_sampled_on_long_streams(self):
+        bus = events.EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        previous = events.install(bus)
+        try:
+            list(pipelined(iter(range(200))))
+        finally:
+            events.install(previous)
+        depths = [e for e in seen if e.type == "queue-depth"]
+        assert depths
+        assert all(
+            0 <= e.data["depth"] <= e.data["capacity"] for e in depths
+        )

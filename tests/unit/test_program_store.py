@@ -1,0 +1,239 @@
+"""Unit tests for the content-addressed trace store."""
+
+import pytest
+
+from repro.layout import INT, StructType
+from repro.program import (
+    Access,
+    AccessBatch,
+    Compute,
+    Function,
+    Interpreter,
+    Loop,
+    WorkloadBuilder,
+    affine,
+)
+from repro.program.store import (
+    TraceStore,
+    TraceStoreError,
+    session_counters,
+    trace_key,
+)
+
+PAIR = StructType("pair", [("a", INT), ("b", INT)])
+
+
+def program(n=16, compute=True):
+    """A small nested-loop workload that exercises every chunk kind."""
+    builder = WorkloadBuilder("t")
+    builder.add_aos(PAIR, max(n, 4), name="A")
+    body = [
+        Access(line=11, array="A", field="a", index=affine("i")),
+        Access(line=12, array="A", field="b", index=affine("i"),
+               is_write=True),
+    ]
+    if compute:
+        body.append(Compute(line=13, cycles=2.0))
+    loop = Loop(line=10, var="i", start=0, stop=n, body=body)
+    outer = Loop(line=9, var="r", start=0, stop=3, body=[loop], end_line=20)
+    return builder.build([Function("main", [outer], line=1)])
+
+
+def expand(items):
+    out = []
+    for item in items:
+        if isinstance(item, AccessBatch):
+            out.extend(item)
+        else:
+            out.append(item)
+    return out
+
+
+def capture_fully(store, key, items):
+    """Drive the capture tee to completion and return what it yielded."""
+    return list(store.capture(key, items))
+
+
+class TestContentAddress:
+    def test_key_is_stable_and_hexadecimal(self):
+        bound = program()
+        k1 = trace_key(bound, 1)
+        k2 = trace_key(bound, 1)
+        assert k1 == k2
+        assert len(k1) == 64
+        int(k1, 16)
+
+    def test_key_depends_on_threads_and_mode(self):
+        bound = program()
+        base = trace_key(bound, 1)
+        assert trace_key(bound, 2) != base
+        assert trace_key(bound, 1, mode="scalar") != base
+
+    def test_key_depends_on_program_shape(self):
+        assert trace_key(program(n=16), 1) != trace_key(program(n=17), 1)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_replay_reproduces_the_item_stream(self, tmp_path, batched):
+        bound = program()
+        store = TraceStore(tmp_path)
+        key = store.key_for(bound, 1, mode="batched" if batched else "scalar")
+        interp = Interpreter(bound, num_threads=1)
+        original = list(interp.run_batched() if batched else interp.run())
+        teed = capture_fully(store, key, iter(original))
+        assert teed == original
+        assert store.has(key)
+        replayed = list(store.replay(key))
+        assert expand(replayed) == expand(original)
+
+    def test_repeated_batch_objects_replay_as_one_object(self, tmp_path):
+        bound = program(compute=False)
+        first = next(
+            item
+            for item in Interpreter(bound, num_threads=1).run_batched()
+            if isinstance(item, AccessBatch)
+        )
+        store = TraceStore(tmp_path)
+        key = "ab" + "0" * 62
+        capture_fully(store, key, iter([first, first, first]))
+        replayed = list(store.replay(key))
+        assert len(replayed) == 3
+        assert replayed[0] is replayed[1] is replayed[2]
+
+    def test_abandoned_capture_leaves_nothing(self, tmp_path):
+        bound = program()
+        store = TraceStore(tmp_path)
+        key = store.key_for(bound, 1)
+        tee = store.capture(key, Interpreter(bound, num_threads=1).run_batched())
+        next(tee)
+        tee.close()
+        assert not store.has(key)
+        assert list(tmp_path.glob("**/*.tmp.*")) == []
+
+
+class TestVerifyAndCorruption:
+    def populated(self, tmp_path):
+        bound = program()
+        store = TraceStore(tmp_path)
+        key = store.key_for(bound, 1)
+        original = capture_fully(
+            store, key, Interpreter(bound, num_threads=1).run_batched()
+        )
+        return store, key, original
+
+    def test_verify_returns_header_totals(self, tmp_path):
+        store, key, original = self.populated(tmp_path)
+        header = store.verify(key)
+        assert header["items"] == len(original)
+        assert header["accesses"] == sum(
+            len(i) if isinstance(i, AccessBatch) else 1
+            for i in original
+            if not hasattr(i, "cycles")
+        )
+        assert header["format"] == 1
+
+    def test_verify_rejects_flipped_payload_byte(self, tmp_path):
+        store, key, _ = self.populated(tmp_path)
+        path = store._path(key)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # inside the last chunk's payload
+        path.write_bytes(bytes(blob))
+        with pytest.raises(TraceStoreError):
+            store.verify(key)
+
+    def test_verify_rejects_truncation_and_bad_magic(self, tmp_path):
+        store, key, _ = self.populated(tmp_path)
+        path = store._path(key)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 3])
+        with pytest.raises(TraceStoreError):
+            store.verify(key)
+        path.write_bytes(b"NOPE" + blob[4:])
+        with pytest.raises(TraceStoreError):
+            store.verify(key)
+
+    def test_fetch_falls_back_to_reinterpret_on_damage(self, tmp_path):
+        store, key, original = self.populated(tmp_path)
+        path = store._path(key)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        bound = program()
+        items, replayed, header = store.fetch(
+            key, lambda: Interpreter(bound, num_threads=1).run_batched()
+        )
+        assert not replayed
+        assert header is None
+        assert store.errors == 1
+        assert expand(list(items)) == expand(original)  # re-captured
+        assert store.verify(key)["items"] == len(original)
+
+
+class TestFetch:
+    def test_cold_then_warm(self, tmp_path):
+        bound = program()
+        store = TraceStore(tmp_path)
+        key = store.key_for(bound, 1)
+        before = session_counters()
+
+        items, replayed, header = store.fetch(
+            key, lambda: Interpreter(bound, num_threads=1).run_batched()
+        )
+        cold = list(items)
+        assert not replayed and header is None
+
+        items, replayed, header = store.fetch(
+            key, lambda: pytest.fail("warm fetch must not interpret")
+        )
+        warm = list(items)
+        assert replayed
+        assert header["accesses"] > 0
+        assert expand(warm) == expand(cold)
+
+        after = session_counters()
+        assert after["captures"] == before["captures"] + 1
+        assert after["replays"] == before["replays"] + 1
+        assert (
+            after["interpret_skipped"]
+            == before["interpret_skipped"] + header["accesses"]
+        )
+        assert store.captures == 1 and store.replays == 1
+
+
+class TestBudget:
+    def test_lru_eviction_drops_oldest_first(self, tmp_path):
+        import os
+
+        bound = program()
+        store = TraceStore(tmp_path)
+        old_key = "aa" + "0" * 62
+        new_key = "bb" + "0" * 62
+        capture_fully(
+            store, old_key, Interpreter(bound, num_threads=1).run_batched()
+        )
+        # Age the first entry so mtime ordering is unambiguous, then
+        # shrink the budget so it holds one trace but not two.
+        os.utime(store._path(old_key), (1, 1))
+        store.max_bytes = store._path(old_key).stat().st_size + 16
+        capture_fully(
+            store, new_key, Interpreter(bound, num_threads=1).run_batched()
+        )
+        assert not store.has(old_key)
+        assert store.has(new_key)
+        assert store.evicted == 1
+
+    def test_stats_reports_contents_and_counters(self, tmp_path):
+        bound = program()
+        store = TraceStore(tmp_path)
+        key = store.key_for(bound, 1)
+        capture_fully(
+            store, key, Interpreter(bound, num_threads=1).run_batched()
+        )
+        list(store.replay(key))
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+        assert stats["captures"] == 1
+        assert stats["replays"] == 1
+        assert stats["root"] == str(tmp_path)
