@@ -11,11 +11,15 @@ consumption the way PROMPT-style collectors do:
   chunk order (and therefore every numeric result) is preserved;
 - :mod:`repro.engine.shm` optionally moves the cache-walk stage into a
   worker process, handing the ``array('q')`` columns across via
-  ``multiprocessing.shared_memory`` with guaranteed segment cleanup.
+  ``multiprocessing.shared_memory`` with guaranteed segment cleanup;
+- :mod:`repro.engine.shard` splits each batch into set-congruence
+  shards and walks them concurrently on persistent forked workers
+  (``--sim-workers``), scattering latencies back into trace order.
 
-Selection is the ``--pipeline {off,on,auto}`` flag threaded through
+Selection is the ``--pipeline {off,on,auto}`` flag (and, for the
+sharded walk, ``--sim-workers {0,N,auto}``) threaded through
 :class:`repro.profiler.monitor.Monitor`; ``auto`` enables the overlap
-only where it can help (more than one CPU).
+only where it can help (more than one effective CPU).
 """
 
 from .stream import PipelineStats, pipelined, resolve_mode

@@ -1,0 +1,542 @@
+"""Set-sharded parallel simulate stage over persistent forked workers.
+
+:class:`ShardedHierarchy` is a drop-in for
+:class:`repro.memsim.hierarchy.MemoryHierarchy` (same surface
+``engine.simulate`` uses) that walks each batch's set-congruence
+shards concurrently: the planner in :mod:`repro.memsim.shard` splits
+the batch by ``line & (S - 1)``, one persistent worker per shard walks
+its sub-column against its own clone of the hierarchy, and the
+latencies are scattered back into trace order. Results are
+byte-identical to the serial walk — sets are independent on the
+eligible (single-core, no prefetch/TLB, non-random) machines, and the
+partition preserves each set's ordered access subsequence.
+
+Activation is lazy and state-exact: the local hierarchy serves scalar
+accesses and small batches until the first batch of at least
+``min_batch`` accesses arrives, then the workers are *forked*, so each
+inherits the parent's hierarchy — including its vector promotion, walk
+memo, and every counter — via the fork snapshot rather than a pickle.
+From that point the parent's local copy is frozen (it only provides
+the pre-fork counter baseline for the merge) and all traffic routes to
+the shard that owns each line.
+
+Per-shard batch columns travel through one
+``multiprocessing.shared_memory`` segment per worker, reusing
+:mod:`repro.engine.shm`'s registry and pid-guarded cleanup, so clean
+close, interpreter exit, and SIGTERM/``--deadline`` via the telemetry
+incident hook all reclaim ``/dev/shm``. The layout is in-place: the
+parent writes the int64 line column at ``[0, 8n)`` and the worker
+overwrites the same region with the float64 latency column.
+
+``backend="inline"`` replaces the forked workers with in-process
+deep-copied clones — the same partition/scatter/merge code path minus
+the transport — which is what the hypothesis parity suite drives.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing
+import signal
+import time
+from typing import List, Optional
+
+from ..memsim import shard as planner
+from ..memsim import vectorwalk
+from ..memsim.hierarchy import HierarchyConfig, MemoryHierarchy
+from ..telemetry import events
+from . import shm
+
+
+def shard_mode_available() -> bool:
+    """Whether the sharded simulate stage can run here."""
+    if multiprocessing.current_process().daemon:
+        # Runner-pool workers (``--jobs N``) are daemonic and may not
+        # fork children; inside them ``--sim-workers`` degrades to the
+        # serial walk, which is byte-identical anyway.
+        return False
+    return vectorwalk.HAVE_NUMPY and shm.process_mode_available()
+
+
+# ---------------------------------------------------------------------------
+# Worker protocol
+# ---------------------------------------------------------------------------
+#
+# Segment layout for a walk of n entries, reused in place:
+#   request:  [0, 8n)  int64 line numbers, trace order
+#   response: [0, 8n)  float64 latency column (overwrites the request)
+#
+# Ops: ("walk", n) -> ("ok", busy_seconds)
+#      ("grow", name) -> ("ok", None)
+#      ("access", address, size) -> ("ok", latency)
+#      ("counters",) -> ("ok", {counter: value})
+#      ("close",) -> ("ok", None)
+
+
+def _shard_worker_main(
+    conn, hier, line_bits: int, name: str, stale_conns=()
+) -> None:
+    """Op loop of one shard worker.
+
+    ``hier`` is the parent's hierarchy, inherited through the fork
+    snapshot (never pickled) — this worker's private clone from the
+    first instruction on.
+    """
+    # The fork inherits the parent's SIGTERM disposition — under
+    # ``crash_dump_scope`` that is a handler raising SystemExit, which
+    # the op loop's error shipping could swallow if the signal lands
+    # inside an op (on one CPU the worker is routinely preempted
+    # there). Workers hold nothing needing graceful teardown, so let
+    # the kernel kill them: ``terminate()``/atexit join can then never
+    # hang on a worker that ate its own SIGTERM. Ctrl-C is ignored —
+    # the parent owns shutdown and closes or terminates the workers.
+    if hasattr(signal, "SIGTERM"):
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # Workers are forked one by one, so this worker inherited the
+    # parent-side pipe ends of every earlier sibling. Close them:
+    # otherwise a sibling orphaned by a killed parent never sees EOF
+    # on its own pipe and survives as an immortal orphan.
+    for stale in stale_conns:
+        try:
+            stale.close()
+        except Exception:
+            pass
+    np = vectorwalk._np
+    segment = shm._attach_segment(name)
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            op = msg[0]
+            try:
+                if op == "walk":
+                    n = msg[1]
+                    started = time.perf_counter()
+                    lines = np.frombuffer(
+                        segment.buf, dtype=np.int64, count=n
+                    ).copy()
+                    latencies = hier.access_batch(
+                        lines << line_bits, np.ones(n, dtype=np.int64)
+                    )
+                    out = np.ascontiguousarray(latencies, dtype=np.float64)
+                    segment.buf[: 8 * n] = out.tobytes()
+                    conn.send(("ok", time.perf_counter() - started))
+                elif op == "grow":
+                    segment.close()
+                    segment = shm._attach_segment(msg[1])
+                    conn.send(("ok", None))
+                elif op == "access":
+                    _, address, size = msg
+                    conn.send(("ok", hier.access(0, address, size, False)))
+                elif op == "counters":
+                    conn.send(
+                        (
+                            "ok",
+                            {
+                                "l1_misses": hier.l1_misses(),
+                                "l2_misses": hier.l2_misses(),
+                                "l3_misses": hier.l3_misses(),
+                                "dram_accesses": hier.dram_accesses,
+                                "invalidations": hier.invalidations,
+                            },
+                        )
+                    )
+                elif op == "close":
+                    conn.send(("ok", None))
+                    break
+                else:
+                    conn.send(("exc", RuntimeError(f"bad op {op!r}")))
+            except (SystemExit, KeyboardInterrupt):
+                raise  # dying is not an op error: never ship it back
+            except BaseException as exc:  # ship the walk's exact error back
+                try:
+                    conn.send(("exc", exc))
+                except Exception:
+                    break
+    finally:
+        try:
+            segment.close()
+        except Exception:
+            pass
+        conn.close()
+
+
+class _ShardWorker:
+    """Parent-side handle of one forked shard worker."""
+
+    def __init__(
+        self, hier, line_bits: int, index: int, min_bytes: int,
+        stale_conns=(),
+    ):
+        self.index = index
+        self._segment = shm._create_segment(min_bytes)
+        ctx = multiprocessing.get_context("fork")
+        self._conn, child = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=_shard_worker_main,
+            args=(child, hier, line_bits, self._segment.name, stale_conns),
+            daemon=True,
+            name=f"repro-shard-{index}",
+        )
+        try:
+            self._proc.start()
+        except BaseException:
+            # start() can refuse before any child exists (daemonic
+            # parent, pid exhaustion); release the transport here or
+            # the segment outlives the run.
+            child.close()
+            self._conn.close()
+            self._segment.close()
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:
+                pass
+            shm._forget(self._segment.name)
+            raise
+        child.close()
+        self._pending = 0
+
+    def _recv(self):
+        try:
+            status, value = self._conn.recv()
+        except (EOFError, OSError):
+            raise RuntimeError(
+                f"shard worker {self.index} died"
+            ) from None
+        if status == "exc":
+            raise value
+        return value
+
+    def _rpc(self, *msg):
+        self._conn.send(msg)
+        return self._recv()
+
+    def _ensure(self, nbytes: int) -> None:
+        if self._segment.size >= nbytes:
+            return
+        old = self._segment
+        self._segment = shm._create_segment(max(nbytes, old.size * 2))
+        self._rpc("grow", self._segment.name)
+        old.close()
+        try:
+            old.unlink()
+        except FileNotFoundError:
+            pass
+        shm._forget(old.name)
+
+    def dispatch_walk(self, lines) -> None:
+        """Ship one line column and start the walk (reply pending)."""
+        np = vectorwalk._np
+        n = int(lines.shape[0])
+        self._ensure(8 * n)
+        column = np.ascontiguousarray(lines, dtype=np.int64)
+        self._segment.buf[: 8 * n] = column.tobytes()
+        self._conn.send(("walk", n))
+        self._pending = n
+
+    def finish_walk(self):
+        """Await the pending walk; returns (latencies, busy_seconds)."""
+        np = vectorwalk._np
+        busy = self._recv()
+        n = self._pending
+        self._pending = 0
+        latencies = np.frombuffer(
+            self._segment.buf, dtype=np.float64, count=n
+        ).copy()
+        return latencies, busy
+
+    def access(self, address: int, size: int) -> float:
+        return self._rpc("access", address, size)
+
+    def counters(self) -> dict:
+        return self._rpc("counters")
+
+    def close(self) -> None:
+        try:
+            self._rpc("close")
+        except Exception:
+            pass
+        try:
+            self._conn.close()
+        except Exception:
+            pass
+        self._proc.join(timeout=5.0)
+        if self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(timeout=5.0)
+        self._segment.close()
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:
+            pass
+        shm._forget(self._segment.name)
+
+
+class _InlineWorker:
+    """Same contract as :class:`_ShardWorker`, minus the transport.
+
+    The clone is a deep copy taken at activation — the in-process
+    equivalent of the fork snapshot — so the parity suites exercise
+    the exact partition/scatter/merge path without process machinery.
+    """
+
+    def __init__(self, hier, line_bits: int, index: int):
+        self.index = index
+        self._hier = copy.deepcopy(hier)
+        self._line_bits = line_bits
+        self._lines = None
+
+    def dispatch_walk(self, lines) -> None:
+        self._lines = lines
+
+    def finish_walk(self):
+        np = vectorwalk._np
+        lines = self._lines
+        self._lines = None
+        started = time.perf_counter()
+        latencies = self._hier.access_batch(
+            lines << self._line_bits,
+            np.ones(int(lines.shape[0]), dtype=np.int64),
+        )
+        busy = time.perf_counter() - started
+        return np.ascontiguousarray(latencies, dtype=np.float64), busy
+
+    def access(self, address: int, size: int) -> float:
+        return self._hier.access(0, address, size, False)
+
+    def counters(self) -> dict:
+        hier = self._hier
+        return {
+            "l1_misses": hier.l1_misses(),
+            "l2_misses": hier.l2_misses(),
+            "l3_misses": hier.l3_misses(),
+            "dram_accesses": hier.dram_accesses,
+            "invalidations": hier.invalidations,
+        }
+
+    def close(self) -> None:
+        self._hier = None
+
+
+class ShardedHierarchy:
+    """Drop-in hierarchy that walks set-shards on parallel workers."""
+
+    #: Initial per-worker segment size; grown (never shrunk) to fit the
+    #: largest shard column seen. 8 bytes per entry, in-place reply.
+    MIN_BYTES = 1 << 20
+
+    def __init__(
+        self,
+        config: Optional[HierarchyConfig],
+        num_cores: int = 1,
+        workers: int = 2,
+        *,
+        backend: str = "process",
+        min_batch: int = planner.SHARD_MIN_BATCH,
+    ) -> None:
+        config = config or HierarchyConfig()
+        if not vectorwalk.HAVE_NUMPY:
+            raise RuntimeError("sharded simulation requires numpy")
+        if not planner.supports_shard(config, num_cores):
+            raise ValueError(
+                "configuration is not shard-eligible "
+                "(multi-core, prefetcher, TLB, or random replacement)"
+            )
+        if backend not in ("process", "inline"):
+            raise ValueError(f"unknown shard backend {backend!r}")
+        shards = planner.plan_shards(config, workers)
+        if shards < 2:
+            raise ValueError(
+                f"no usable shard count for {workers} worker(s) "
+                f"(geometry admits up to {planner.max_shard_count(config)})"
+            )
+        self.config = config
+        self.num_cores = num_cores
+        self.shards = shards
+        self.backend = backend
+        self.min_batch = min_batch
+        self._local = MemoryHierarchy(config, num_cores)
+        self._line_bits = self._local._line_bits
+        self._workers: List = []
+        self._base: dict = {}
+        self._active = False
+        self._fork_denied = False
+        self._closed = False
+        self.stats = planner.ShardStats(shards, backend)
+
+    @property
+    def supports_batch(self) -> bool:
+        return True
+
+    # -- activation ----------------------------------------------------------
+
+    def _activate(self) -> None:
+        """Fork one worker per shard off the local hierarchy's state."""
+        local = self._local
+        self._base = {
+            "l1_misses": local.l1_misses(),
+            "l2_misses": local.l2_misses(),
+            "l3_misses": local.l3_misses(),
+            "dram_accesses": local.dram_accesses,
+            "invalidations": local.invalidations,
+        }
+        if self.backend == "inline":
+            self._workers = [
+                _InlineWorker(local, self._line_bits, i)
+                for i in range(self.shards)
+            ]
+        else:
+            workers: List[_ShardWorker] = []
+            try:
+                for i in range(self.shards):
+                    workers.append(
+                        _ShardWorker(
+                            local, self._line_bits, i, self.MIN_BYTES,
+                            stale_conns=[w._conn for w in workers],
+                        )
+                    )
+            except BaseException:
+                for w in workers:
+                    w.close()
+                raise
+            self._workers = workers
+        # The local hierarchy is frozen from here: the workers own all
+        # cache state, the parent only partitions and scatters.
+        self._active = True
+
+    # -- the hierarchy surface engine.simulate uses --------------------------
+
+    def access(self, core_id: int, address: int, size: int, is_write: bool):
+        if not self._active:
+            return self._local.access(core_id, address, size, is_write)
+        first = address >> self._line_bits
+        last = (address + size - 1) >> self._line_bits
+        mask = self.shards - 1
+        if last == first or (last & mask) == (first & mask):
+            # One line, or both probed lines in the same shard: ship
+            # the original access; the worker's walk is the serial one.
+            return self._workers[first & mask].access(address, size)
+        # The serial walk probes first and last line and reports the
+        # slower; the probes live in different shards here.
+        return max(
+            self._workers[first & mask].access(first << self._line_bits, 1),
+            self._workers[last & mask].access(last << self._line_bits, 1),
+        )
+
+    def access_batch(self, addresses, sizes, is_write=None, thread=None):
+        if not self._active:
+            if len(addresses) < self.min_batch or self._fork_denied:
+                return self._local.access_batch(
+                    addresses, sizes, is_write, thread
+                )
+            try:
+                self._activate()
+            except (AssertionError, OSError):
+                # Fork refused (daemonic parent, fd/pid exhaustion):
+                # stay on the local serial walk for good — the output
+                # is identical either way.
+                self._fork_denied = True
+                self._base = {}
+                return self._local.access_batch(
+                    addresses, sizes, is_write, thread
+                )
+        stats = self.stats
+        started = time.perf_counter()
+        plan = planner.partition_batch(
+            addresses, sizes, self._line_bits, self.shards
+        )
+        stats.partition_s += time.perf_counter() - started
+        pending = []
+        for s in range(self.shards):
+            lines = plan.lines[s]
+            if lines.shape[0]:
+                self._workers[s].dispatch_walk(lines)
+                pending.append(s)
+        columns: List = [None] * self.shards
+        for s in pending:
+            latencies, busy = self._workers[s].finish_walk()
+            columns[s] = latencies
+            stats.record_walk(s, int(plan.lines[s].shape[0]), busy)
+        started = time.perf_counter()
+        out = planner.scatter_latencies(plan, columns)
+        stats.scatter_s += time.perf_counter() - started
+        stats.dispatches += 1
+        stats.sharded_accesses += plan.n
+        stats.splits += plan.splits
+        return out
+
+    def l1_misses(self) -> int:
+        return self._counters()["l1_misses"]
+
+    def l2_misses(self) -> int:
+        return self._counters()["l2_misses"]
+
+    def l3_misses(self) -> int:
+        return self._counters()["l3_misses"]
+
+    @property
+    def dram_accesses(self) -> int:
+        return self._counters()["dram_accesses"]
+
+    @property
+    def invalidations(self) -> int:
+        return self._counters()["invalidations"]
+
+    def _counters(self) -> dict:
+        if not self._active:
+            local = self._local
+            return {
+                "l1_misses": local.l1_misses(),
+                "l2_misses": local.l2_misses(),
+                "l3_misses": local.l3_misses(),
+                "dram_accesses": local.dram_accesses,
+                "invalidations": local.invalidations,
+            }
+        return planner.merge_counters(
+            [worker.counters() for worker in self._workers], self._base
+        )
+
+    def shard_stats(self) -> dict:
+        """The dispatch/imbalance rollup (bench history, dashboards)."""
+        return self.stats.to_dict()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _publish_events(self) -> None:
+        bus = events.bus()
+        if not (bus.active and self._active):
+            return
+        stats = self.stats
+        for i in range(stats.shards):
+            bus.publish(
+                "worker-busy",
+                worker=i,
+                busy_s=stats.worker_busy_s[i],
+                walks=stats.worker_walks[i],
+                lines=stats.worker_lines[i],
+            )
+        bus.publish(
+            "shard-imbalance",
+            shards=stats.shards,
+            imbalance=stats.imbalance,
+            dispatches=stats.dispatches,
+        )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._publish_events()
+        for worker in self._workers:
+            worker.close()
+        self._workers = []
+
+    def __enter__(self) -> "ShardedHierarchy":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -23,12 +23,12 @@ per stage at the end.
 
 from __future__ import annotations
 
-import os
 import queue
 import threading
 from time import perf_counter
 from typing import Iterable, Iterator, Optional
 
+from .._compat import effective_cpu_count
 from ..telemetry import events
 
 #: Chunks buffered between producer and consumer. A chunk is up to
@@ -115,12 +115,13 @@ def resolve_mode(pipeline: str) -> bool:
 
     ``auto`` turns the pipeline on only when a second CPU exists to run
     the producer — on a single core the overlap cannot reduce wall time
-    and the queue hand-off would only add overhead.
+    and the queue hand-off would only add overhead. The count honors
+    affinity limits (cgroups, taskset), not just the machine's size.
     """
     if pipeline == "on":
         return True
     if pipeline == "auto":
-        return (os.cpu_count() or 1) > 1
+        return effective_cpu_count() > 1
     if pipeline == "off":
         return False
     raise ValueError(f"unknown pipeline mode {pipeline!r}")

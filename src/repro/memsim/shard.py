@@ -1,0 +1,302 @@
+"""Set-sharded partitioning of access batches (the planner side).
+
+A set-associative cache is a row of independent state machines: an
+access to line ``L`` touches exactly one set per level, and sets never
+read each other's state on the simple single-core machine (no MESI
+directory, no stream prefetcher, no TLB — the same eligibility class
+as ``vectorwalk``'s tag-array walk). Because every level's set count is
+a power of two, any power-of-two shard count ``S`` that divides the
+*smallest* ``num_sets`` divides all of them, so the congruence class
+``line mod S`` selects a disjoint group of sets in L1, L2, and L3
+simultaneously. Partitioning a batch by ``line & (S - 1)`` therefore
+yields ``S`` sub-traces that can be walked concurrently — each against
+its own clone of the hierarchy — while preserving, per set, exactly the
+ordered access subsequence the serial walk would have produced. The
+latencies scattered back into trace positions, and the counters merged
+by summation, are byte-identical to the serial walk's.
+
+This module is the pure/planning half: eligibility, shard-count
+resolution, batch partitioning, latency scatter, and counter merge.
+The process machinery (persistent forked workers over shared memory)
+lives in :mod:`repro.engine.shard`.
+
+Split (line-crossing) accesses need one wrinkle: the serial walk probes
+the first and the last line and reports the slower of the two. The
+partitioner emits one single-line entry per touched line — in trace
+order, first half before last half — and the scatter max-combines the
+two latencies back into the one trace position, which is exactly the
+serial ``max(first_walk, last_walk)``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence
+
+from .._compat import effective_cpu_count
+from . import vectorwalk
+
+#: Hard ceiling on the shard count; past this the partition/scatter
+#: overhead and the per-worker cache-clone footprint outgrow any win.
+MAX_SHARDS = 16
+
+#: Smallest batch worth dispatching to workers. Below it the partition
+#: and IPC cost beats the walk itself; the local hierarchy handles it.
+SHARD_MIN_BATCH = 4096
+
+#: ``--sim-workers auto`` never asks for more workers than this even on
+#: very wide machines — the simulate stage stops scaling long before.
+AUTO_WORKER_CAP = 8
+
+#: Counter names carried by the worker protocol and the merge.
+COUNTER_KEYS = (
+    "l1_misses",
+    "l2_misses",
+    "l3_misses",
+    "dram_accesses",
+    "invalidations",
+)
+
+
+def max_shard_count(config) -> int:
+    """The largest shard count any level's geometry admits.
+
+    Equal to the smallest ``num_sets`` across L1/L2/L3; every level's
+    set count is a power of two, so any power of two up to this bound
+    divides all three.
+    """
+    return min(
+        level.size_bytes // (level.ways * config.line_size)
+        for level in (config.l1, config.l2, config.l3)
+    )
+
+
+def supports_shard(config, num_cores: int = 1) -> bool:
+    """Whether set-sharding is exact for this machine.
+
+    Mirrors the vectorwalk eligibility class — sharding assumes sets
+    are independent, which a MESI directory (``num_cores > 1``), a
+    stream prefetcher, or a TLB breaks. Random replacement is excluded
+    too: its victim choice draws from one per-cache RNG whose draw
+    *order* is global, not per-set.
+    """
+    return (
+        num_cores == 1
+        and config.prefetch_degree == 0
+        and config.tlb is None
+        and config.replacement != "random"
+        and max_shard_count(config) >= 2
+    )
+
+
+def plan_shards(config, workers: int) -> int:
+    """Shard count for a requested worker count: the largest power of
+    two that is ``<= workers``, ``<= MAX_SHARDS``, and divides every
+    level's set count. Returns 0 when no usable count (>= 2) exists.
+    """
+    limit = min(int(workers), MAX_SHARDS, max_shard_count(config))
+    if limit < 2:
+        return 0
+    return 1 << (limit.bit_length() - 1)
+
+
+def resolve_sim_workers(
+    spec,
+    *,
+    config=None,
+    num_cores: int = 1,
+    cpu_count: Optional[int] = None,
+) -> int:
+    """Resolve a ``--sim-workers`` value to a concrete shard count.
+
+    ``spec`` is ``None`` (consult ``$REPRO_SIM_WORKERS``, default 0),
+    an int, or a string: a number, or ``"auto"`` (one worker per
+    effective CPU up to :data:`AUTO_WORKER_CAP`, and 0 — serial — on a
+    single-CPU machine). The result is 0 (serial) or a power of two
+    >= 2. When ``config`` is given the count is additionally gated on
+    :func:`supports_shard` and numpy availability and snapped to a
+    geometry-compatible shard count via :func:`plan_shards`; without a
+    config only the request itself is resolved (validation at CLI
+    parse time, before a workload's hierarchy is known).
+    """
+    if spec is None:
+        spec = os.environ.get("REPRO_SIM_WORKERS", "0")
+    if isinstance(spec, str):
+        token = spec.strip().lower()
+        if token == "auto":
+            cpus = cpu_count if cpu_count is not None else effective_cpu_count()
+            requested = min(cpus, AUTO_WORKER_CAP) if cpus > 1 else 0
+        else:
+            try:
+                requested = int(token)
+            except ValueError:
+                raise ValueError(
+                    f"--sim-workers must be a number or 'auto', got {spec!r}"
+                ) from None
+    else:
+        requested = int(spec)
+    if requested < 0:
+        raise ValueError(f"--sim-workers must be >= 0, got {requested}")
+    if requested < 2:
+        return 0
+    if config is None:
+        return requested
+    if not vectorwalk.HAVE_NUMPY:
+        return 0
+    if not supports_shard(config, num_cores):
+        return 0
+    return plan_shards(config, requested)
+
+
+class ShardPlan:
+    """One batch partitioned into per-shard line/position columns."""
+
+    __slots__ = ("n", "splits", "lines", "positions")
+
+    def __init__(self, n, splits, lines, positions):
+        self.n = n  #: accesses in the original batch
+        self.splits = splits  #: line-crossing accesses (two entries each)
+        self.lines = lines  #: per-shard int64 line columns, trace order
+        self.positions = positions  #: per-shard trace positions
+
+    @property
+    def entries(self) -> int:
+        return self.n + self.splits
+
+
+def partition_batch(addresses, sizes, line_bits: int, shard_count: int) -> ShardPlan:
+    """Partition one batch's columns by ``line & (shard_count - 1)``.
+
+    Returns per-shard line columns in trace order plus the trace
+    position of every entry. A split access contributes two entries —
+    its first and last line, adjacent and in that order — that the
+    scatter max-combines back into one position.
+    """
+    np = vectorwalk._np
+    addr = vectorwalk.as_column(addresses)
+    size = vectorwalk.as_column(sizes)
+    first = addr >> line_bits
+    last = (addr + size - 1) >> line_bits
+    n = int(addr.shape[0])
+    split = last != first
+    nsplit = int(split.sum())
+    if nsplit:
+        counts = np.ones(n, dtype=np.int64)
+        counts[split] = 2
+        pos = np.repeat(np.arange(n, dtype=np.int64), counts)
+        lines = np.repeat(first, counts)
+        # The second slot of each split entry (cumsum lands on the last
+        # slot of every access) carries the last line instead.
+        ends = np.cumsum(counts) - 1
+        lines[ends[split]] = last[split]
+    else:
+        pos = np.arange(n, dtype=np.int64)
+        lines = first
+    mask = shard_count - 1
+    shard = lines & mask
+    shard_lines: List = []
+    shard_pos: List = []
+    for s in range(shard_count):
+        pick = shard == s
+        shard_lines.append(lines[pick])
+        shard_pos.append(pos[pick])
+    return ShardPlan(n, nsplit, shard_lines, shard_pos)
+
+
+def scatter_latencies(plan: ShardPlan, shard_latencies: Sequence):
+    """Per-shard latency columns back into one trace-order column.
+
+    ``shard_latencies[s]`` pairs with ``plan.positions[s]`` (entries
+    for empty shards may be ``None``). With splits present, the two
+    half-line entries of an access land on the same position and the
+    slower one wins — the serial walk's ``max`` of the two line walks.
+    """
+    np = vectorwalk._np
+    out = np.zeros(plan.n, dtype=np.float64)
+    if plan.splits:
+        for pos, lat in zip(plan.positions, shard_latencies):
+            if lat is not None and len(pos):
+                np.maximum.at(out, pos, lat)
+    else:
+        for pos, lat in zip(plan.positions, shard_latencies):
+            if lat is not None and len(pos):
+                out[pos] = lat
+    return out
+
+
+def merge_counters(per_shard: Sequence[dict], base: dict) -> dict:
+    """Global counters from per-shard counter snapshots.
+
+    Every shard clone starts from the same pre-activation state, so
+    each clone's counter is ``base + own_delta``; the merged value is
+    the sum of all clones minus the ``S - 1`` extra copies of the base.
+    """
+    extra = len(per_shard) - 1
+    return {
+        key: sum(c[key] for c in per_shard) - extra * int(base.get(key, 0))
+        for key in COUNTER_KEYS
+    }
+
+
+class ShardStats:
+    """Dispatch accounting for one sharded hierarchy's lifetime."""
+
+    __slots__ = (
+        "shards",
+        "backend",
+        "dispatches",
+        "sharded_accesses",
+        "splits",
+        "partition_s",
+        "scatter_s",
+        "worker_busy_s",
+        "worker_walks",
+        "worker_lines",
+    )
+
+    def __init__(self, shards: int, backend: str = "process") -> None:
+        self.shards = shards
+        self.backend = backend
+        self.dispatches = 0  #: batches dispatched to the workers
+        self.sharded_accesses = 0  #: accesses walked through shards
+        self.splits = 0  #: line-crossing accesses (max-combined)
+        self.partition_s = 0.0  #: parent time partitioning columns
+        self.scatter_s = 0.0  #: parent time scattering latencies
+        self.worker_busy_s = [0.0] * shards  #: per-worker walk seconds
+        self.worker_walks = [0] * shards
+        self.worker_lines = [0] * shards
+
+    def record_walk(self, shard: int, lines: int, busy_s: float) -> None:
+        self.worker_busy_s[shard] += busy_s
+        self.worker_walks[shard] += 1
+        self.worker_lines[shard] += lines
+
+    @property
+    def imbalance(self) -> float:
+        """Max over mean per-worker busy time; 1.0 is a perfect split."""
+        busy = self.worker_busy_s
+        mean = sum(busy) / len(busy)
+        if mean <= 0.0:
+            return 1.0
+        return max(busy) / mean
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.backend,
+            "count": self.shards,
+            "dispatches": self.dispatches,
+            "sharded_accesses": self.sharded_accesses,
+            "splits": self.splits,
+            "partition_s": self.partition_s,
+            "scatter_s": self.scatter_s,
+            "imbalance": self.imbalance,
+            "per_worker": [
+                {
+                    "worker": i,
+                    "busy_s": self.worker_busy_s[i],
+                    "walks": self.worker_walks[i],
+                    "lines": self.worker_lines[i],
+                }
+                for i in range(self.shards)
+            ],
+        }

@@ -18,6 +18,7 @@ from typing import Dict, Optional, Union
 from ..binary.linemap import LineMap
 from ..binary.loopmap import LoopMap
 from ..engine import PipelineStats, pipelined, resolve_mode
+from ..memsim import shard as shardplan
 from ..memsim.engine import CostModel, simulate
 from ..memsim.hierarchy import HierarchyConfig, MemoryHierarchy
 from ..memsim.stats import RunMetrics
@@ -84,6 +85,7 @@ class Monitor:
         engine: str = "batched",
         pipeline: str = "off",
         trace_store: Union[str, TraceStore, None] = None,
+        sim_workers: Union[int, str, None] = None,
     ) -> None:
         """``sampling_period`` is the period the *analysis* samples at;
         simulated traces are far shorter than real executions, so it is
@@ -105,10 +107,17 @@ class Monitor:
         in-process hierarchy's metric surface).  ``trace_store`` (a
         directory or :class:`TraceStore`) captures the interpreter's
         item stream on first run and replays it on every later run with
-        the same content key, skipping interpretation entirely."""
+        the same content key, skipping interpretation entirely.
+        ``sim_workers`` (0, N, or ``"auto"``; default consults
+        ``$REPRO_SIM_WORKERS``) shards the batched cache walk across
+        that many persistent forked workers where the configuration is
+        shard-eligible — results stay byte-identical, ineligible
+        machines and the scalar engine silently fall back to the
+        serial walk (see :mod:`repro.memsim.shard`)."""
         if engine not in ("scalar", "batched"):
             raise ValueError(f"unknown engine {engine!r}")
         resolve_mode(pipeline)  # validate early, before any run
+        shardplan.resolve_sim_workers(sim_workers)  # validate early too
         self.sampling_period = sampling_period
         self.deployment_period = deployment_period
         self.sampler_cls = sampler_cls
@@ -117,6 +126,7 @@ class Monitor:
         self.seed = seed
         self.engine = engine
         self.pipeline = pipeline
+        self.sim_workers = sim_workers
         if trace_store is None or isinstance(trace_store, TraceStore):
             self.trace_store = trace_store
         else:
@@ -167,12 +177,27 @@ class Monitor:
         return items
 
     def _make_hierarchy(self, config, cores: int):
-        """``(hierarchy, remote)``: in-process, or the shm worker form.
+        """``(hierarchy, needs_close)``: in-process or a worker form.
 
-        Process mode is opt-in (``REPRO_PIPELINE_PROCESS=1``) on top of
-        an enabled pipeline, and never runs under telemetry — metric
-        export needs the in-process hierarchy's full surface.
+        The sharded walk (``sim_workers``) takes precedence when the
+        configuration is shard-eligible, then process mode
+        (``REPRO_PIPELINE_PROCESS=1``) on top of an enabled pipeline.
+        Neither runs under telemetry — metric export needs the
+        in-process hierarchy's full surface.
         """
+        cfg = config or HierarchyConfig()
+        if self.engine == "batched" and not telemetry.enabled():
+            workers = shardplan.resolve_sim_workers(
+                self.sim_workers, config=cfg, num_cores=cores
+            )
+            if workers >= 2:
+                from ..engine import shard as shard_engine
+
+                if shard_engine.shard_mode_available():
+                    return (
+                        shard_engine.ShardedHierarchy(cfg, cores, workers),
+                        True,
+                    )
         if (
             resolve_mode(self.pipeline)
             and os.environ.get("REPRO_PIPELINE_PROCESS") == "1"
@@ -181,11 +206,8 @@ class Monitor:
             from ..engine import shm
 
             if shm.process_mode_available():
-                return (
-                    shm.RemoteHierarchy(config or HierarchyConfig(), cores),
-                    True,
-                )
-        return MemoryHierarchy(config or HierarchyConfig(), cores), False
+                return shm.RemoteHierarchy(cfg, cores), True
+        return MemoryHierarchy(cfg, cores), False
 
     def _export_stream_metrics(self, registry, stats: PipelineStats) -> None:
         """Trace-store / pipeline counters for the telemetry snapshot."""

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
 from .. import telemetry
+from .._compat import effective_cpu_count
 from ..telemetry import events
 from ..telemetry.merge import SessionPayload, absorb_payload, capture_session
 from .cache import ResultCache, as_cache
@@ -79,11 +80,15 @@ def run_tasks(
 ) -> List[object]:
     """Run ``specs`` and return their records, in spec order.
 
-    ``jobs`` caps the worker-pool size (1 = execute inline).  ``cache``
-    (a directory or :class:`ResultCache`) short-circuits tasks whose
-    content address already has a stored record; only misses execute.
-    ``stats``, when given, accumulates hit/miss/execution counts.
+    ``jobs`` caps the worker-pool size (1 = execute inline; 0 or a
+    negative value = one worker per effective CPU, honoring affinity
+    limits).  ``cache`` (a directory or :class:`ResultCache`)
+    short-circuits tasks whose content address already has a stored
+    record; only misses execute.  ``stats``, when given, accumulates
+    hit/miss/execution counts.
     """
+    if jobs <= 0:
+        jobs = effective_cpu_count()
     store = as_cache(cache)
     if stats is not None:
         stats.tasks += len(specs)

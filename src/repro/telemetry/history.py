@@ -111,6 +111,11 @@ def make_entry(
     pipeline = (bench.get("end_to_end") or {}).get("pipeline")
     if pipeline:
         entry["pipeline"] = dict(pipeline)
+    # Sharded runs carry per-worker busy clocks and the imbalance
+    # ratio; lift them the same way (absent for serial runs).
+    workers = (bench.get("end_to_end") or {}).get("workers")
+    if workers:
+        entry["workers"] = dict(workers)
     entry["id"] = entry_id(entry)
     return entry
 
@@ -211,6 +216,23 @@ def sparkline(values: Sequence[float]) -> str:
     )
 
 
+def _worker_rollup(entry: Dict[str, object]) -> Optional[Dict[str, object]]:
+    """The shard-worker rollup of an entry (or raw payload), if any."""
+    return entry.get("workers") or (
+        (entry.get("bench", {}).get("end_to_end") or {}).get("workers")
+    )
+
+
+def _worker_count(entry: Dict[str, object]) -> int:
+    rollup = _worker_rollup(entry)
+    if not rollup:
+        return 0
+    try:
+        return int(rollup.get("count", 0))
+    except (TypeError, ValueError):
+        return 0
+
+
 def _throughput(entry: Dict[str, object]) -> float:
     bench = entry.get("bench", {})
     try:
@@ -233,7 +255,7 @@ def render_trend(
     )
     header = (
         f"{'id':14s} {'stamp':15s} {'git':9s} {'quick':5s} "
-        f"{'acc/s':>12s} {'speedup':>7s}"
+        f"{'acc/s':>12s} {'speedup':>7s} {'wrk':>4s}"
         + "".join(f" {stage:>10s}" for stage in STAGES)
     )
     lines.append(header)
@@ -245,13 +267,15 @@ def render_trend(
             speedup = float(bench["end_to_end"]["speedup"])
         except (KeyError, TypeError):
             pass
+        workers = _worker_count(entry)
         row = (
             f"{str(entry.get('id', '?'))[:12]:14s} "
             f"{str(entry.get('stamp', '?')):15s} "
             f"{str(entry.get('git_sha') or '-'):9s} "
             f"{'yes' if entry.get('quick') else 'no':5s} "
             f"{_throughput(entry):>12,.0f} "
-            f"{speedup:>6.2f}x"
+            f"{speedup:>6.2f}x "
+            f"{str(workers) if workers else '-':>4s}"
         )
         for stage in STAGES:
             seconds = stages.get(stage, {}).get("batched")
@@ -364,6 +388,32 @@ def _overlap_note(label: str, entry: Dict[str, object]) -> Optional[str]:
     )
 
 
+def _workers_note(label: str, entry: Dict[str, object]) -> Optional[str]:
+    """Describe a sharded entry's per-worker busy clocks, if any.
+
+    A sharded simulate wall is parallel wall time, not CPU seconds, so
+    attribution against a serial base must say so the same way the
+    overlap note does for pipelined runs.
+    """
+    rollup = _worker_rollup(entry)
+    if not rollup:
+        return None
+    per = rollup.get("per_worker") or []
+    busy = sum(float(w.get("busy_s", 0.0)) for w in per)
+    try:
+        imbalance = float(rollup.get("imbalance", 1.0))
+    except (TypeError, ValueError):
+        imbalance = 1.0
+    return (
+        f"{label} sharded its cache walk across {rollup.get('count', '?')} "
+        f"{rollup.get('mode', 'process')} workers "
+        f"({rollup.get('dispatches', 0)} dispatches, worker busy "
+        f"{busy:.3f}s total, busy imbalance {imbalance:.2f}x); its "
+        f"simulate/end-to-end walls are parallel wall time, not CPU "
+        f"seconds"
+    )
+
+
 def _label(entry: Dict[str, object]) -> str:
     sha = entry.get("git_sha")
     ident = str(entry.get("id", "?"))[:12]
@@ -395,9 +445,10 @@ def attribute(
     notes = []
     if engine == "batched":
         for label, entry in (("base", base), ("head", head)):
-            note = _overlap_note(label, entry)
-            if note:
-                notes.append(note)
+            for note in (_overlap_note(label, entry),
+                         _workers_note(label, entry)):
+                if note:
+                    notes.append(note)
     return Attribution(
         base_id=_label(base),
         head_id=_label(head),

@@ -1,0 +1,154 @@
+"""Property: the set-sharded walk is byte-identical to the serial walk.
+
+The sharding contract is exact, not approximate: for every eligible
+machine, partitioning a batch by ``line & (S - 1)``, walking the shards
+on independent hierarchy clones, and scattering the latencies back into
+trace order must reproduce the serial ``access_batch`` column bit for
+bit — and the merged counters must match too.  These properties drive
+the ``backend="inline"`` transport (deep-copied clones, the same
+partition/scatter/merge path as the forked workers minus the IPC) over
+random address/size columns, shard counts, geometries, and replacement
+policies, including line-crossing (split) accesses and pre-activation
+scalar traffic.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.shard import ShardedHierarchy
+from repro.memsim import shard as planner
+from repro.memsim.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.memsim.tlb import TLBConfig
+
+#: Address space the random columns roam: a few thousand lines, so the
+#: small() geometry sees hits, misses, and evictions at every level.
+SPAN = 1 << 18
+
+configs = st.sampled_from(
+    [
+        HierarchyConfig.small(),
+        dataclasses.replace(HierarchyConfig.small(), replacement="fifo"),
+    ]
+)
+
+
+@st.composite
+def access_columns(draw):
+    n = draw(st.integers(min_value=1, max_value=400))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    addresses = rng.integers(0, SPAN, size=n, dtype=np.int64)
+    # Sizes up to 2 lines so split (line-crossing) accesses are common.
+    sizes = rng.integers(1, 130, size=n, dtype=np.int64)
+    return addresses, sizes
+
+
+@given(
+    columns=access_columns(),
+    config=configs,
+    workers=st.sampled_from([2, 4, 8]),
+)
+@settings(max_examples=60, deadline=None)
+def test_sharded_batch_matches_serial(columns, config, workers):
+    addresses, sizes = columns
+    serial = MemoryHierarchy(config, 1)
+    expected = np.asarray(serial.access_batch(addresses, sizes),
+                          dtype=np.float64)
+    with ShardedHierarchy(config, 1, workers, backend="inline",
+                          min_batch=1) as sharded:
+        got = np.asarray(sharded.access_batch(addresses, sizes),
+                         dtype=np.float64)
+        assert np.array_equal(got, expected)
+        assert sharded.l1_misses() == serial.l1_misses()
+        assert sharded.l2_misses() == serial.l2_misses()
+        assert sharded.l3_misses() == serial.l3_misses()
+        assert sharded.dram_accesses == serial.dram_accesses
+        assert sharded.invalidations == serial.invalidations
+
+
+@given(columns=access_columns(), workers=st.sampled_from([2, 4]))
+@settings(max_examples=30, deadline=None)
+def test_sharded_run_with_scalar_traffic_matches_serial(columns, workers):
+    """Scalar accesses interleaved around batches stay byte-identical:
+    before activation they hit the local hierarchy, after it they route
+    to the owning shard (or max-combine across two shards)."""
+    addresses, sizes = columns
+    config = HierarchyConfig.small()
+    serial = MemoryHierarchy(config, 1)
+    with ShardedHierarchy(config, 1, workers, backend="inline",
+                          min_batch=len(addresses)) as sharded:
+        # Pre-activation scalar access (local hierarchy on both sides).
+        assert sharded.access(0, 3, 8, False) == serial.access(0, 3, 8, False)
+        exp = np.asarray(serial.access_batch(addresses, sizes),
+                         dtype=np.float64)
+        got = np.asarray(sharded.access_batch(addresses, sizes),
+                         dtype=np.float64)
+        assert np.array_equal(got, exp)
+        # Post-activation scalars: same-line, and a line-crossing one.
+        for address, size in ((3, 8), (64 - 4, 8), (SPAN // 2, 200)):
+            assert sharded.access(0, address, size, False) == serial.access(
+                0, address, size, False
+            )
+        assert sharded.dram_accesses == serial.dram_accesses
+
+
+@given(columns=access_columns(), workers=st.sampled_from([2, 4, 8]))
+@settings(max_examples=30, deadline=None)
+def test_partition_scatter_roundtrip_covers_every_position(columns, workers):
+    addresses, sizes = columns
+    plan = planner.partition_batch(addresses, sizes, 6, workers)
+    assert plan.entries == sum(len(lines) for lines in plan.lines)
+    assert plan.entries == plan.n + plan.splits
+    # Scatter of per-entry "latencies" equal to the line numbers: every
+    # position receives the max of its (one or two) probed lines.
+    first = addresses >> 6
+    last = (addresses + sizes - 1) >> 6
+    out = planner.scatter_latencies(
+        plan, [lines.astype(np.float64) for lines in plan.lines]
+    )
+    assert np.array_equal(out, np.maximum(first, last).astype(np.float64))
+
+
+class TestEligibility:
+    def test_ineligible_configs_resolve_to_serial(self):
+        base = HierarchyConfig.small()
+        eligible = planner.resolve_sim_workers("4", config=base, num_cores=1)
+        assert eligible == 4
+        for config, cores in (
+            (base, 2),  # MESI coherence couples the shards
+            (HierarchyConfig(prefetch_degree=2), 1),
+            (HierarchyConfig(tlb=TLBConfig()), 1),
+            (HierarchyConfig(replacement="random"), 1),
+        ):
+            assert not planner.supports_shard(config, cores)
+            assert planner.resolve_sim_workers(
+                "4", config=config, num_cores=cores
+            ) == 0
+
+    def test_sharded_hierarchy_rejects_ineligible_config(self):
+        with pytest.raises(ValueError):
+            ShardedHierarchy(HierarchyConfig(replacement="random"), 1, 4)
+
+    def test_requested_counts_snap_to_geometry_powers_of_two(self):
+        config = HierarchyConfig.small()  # 8 L1 sets
+        assert planner.plan_shards(config, 3) == 2
+        assert planner.plan_shards(config, 8) == 8
+        assert planner.plan_shards(config, 100) == 8
+        assert planner.plan_shards(config, 1) == 0
+
+    def test_auto_serial_on_one_cpu(self):
+        assert planner.resolve_sim_workers("auto", cpu_count=1) == 0
+        assert planner.resolve_sim_workers("auto", cpu_count=4) == 4
+        assert planner.resolve_sim_workers(
+            "auto", cpu_count=64
+        ) == planner.AUTO_WORKER_CAP
+
+    def test_bad_tokens_raise(self):
+        with pytest.raises(ValueError):
+            planner.resolve_sim_workers("sideways")
+        with pytest.raises(ValueError):
+            planner.resolve_sim_workers(-1)

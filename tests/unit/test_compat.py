@@ -4,7 +4,8 @@ import sys
 
 import pytest
 
-from repro._compat import DATACLASS_SLOTS, slotted_dataclass
+from repro._compat import DATACLASS_SLOTS, effective_cpu_count, \
+    slotted_dataclass
 from repro.memsim.cache import SetAssociativeCache
 from repro.memsim.engine import CostModel
 from repro.profiler.online import StreamState
@@ -37,6 +38,21 @@ class TestSlottedDataclass:
 
         with pytest.raises(Exception):
             Frozen().value = 1
+
+
+class TestEffectiveCpuCount:
+    def test_positive_and_bounded_by_cpu_count(self):
+        import os
+
+        count = effective_cpu_count()
+        assert count >= 1
+        assert count <= (os.cpu_count() or count)
+
+    def test_honors_affinity_when_available(self):
+        import os
+
+        if hasattr(os, "sched_getaffinity"):
+            assert effective_cpu_count() == len(os.sched_getaffinity(0))
 
 
 @pytest.mark.skipif(not ON_310, reason="slots=True needs Python 3.10+")

@@ -1,0 +1,294 @@
+"""Unit tests for the set-sharded parallel simulate stage.
+
+The contract under test: :class:`ShardedHierarchy` with the forked
+``process`` backend is byte-identical to an in-process
+:class:`MemoryHierarchy`, activation is lazy and state-exact, and no
+exit path — clean close, interpreter exit, or SIGTERM through
+``crash_dump_scope`` — leaves a shard segment behind in ``/dev/shm``.
+"""
+
+import contextlib
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine import shard as shard_engine
+from repro.engine import shm
+from repro.engine.shard import ShardedHierarchy
+from repro.memsim.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.telemetry import events
+
+np = pytest.importorskip("numpy")
+
+pytestmark = pytest.mark.skipif(
+    not shard_engine.shard_mode_available(),
+    reason="numpy, multiprocessing.shared_memory, or fork unavailable",
+)
+
+
+def columns(n=2000, seed=7):
+    rng = np.random.default_rng(seed)
+    addresses = rng.integers(0, 1 << 18, size=n, dtype=np.int64)
+    sizes = rng.integers(1, 130, size=n, dtype=np.int64)
+    return addresses, sizes
+
+
+def segment_exists(name):
+    from multiprocessing import shared_memory
+
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    seg.close()
+    return True
+
+
+class TestByteIdentity:
+    def test_batch_walk_matches_local_hierarchy(self):
+        config = HierarchyConfig.small()
+        addresses, sizes = columns()
+        local = MemoryHierarchy(config, 1)
+        expected = np.asarray(local.access_batch(addresses, sizes),
+                              dtype=np.float64)
+        with ShardedHierarchy(config, 1, 4, min_batch=100) as sharded:
+            got = np.asarray(sharded.access_batch(addresses, sizes),
+                             dtype=np.float64)
+            assert np.array_equal(got, expected)
+            assert sharded.l1_misses() == local.l1_misses()
+            assert sharded.l2_misses() == local.l2_misses()
+            assert sharded.l3_misses() == local.l3_misses()
+            assert sharded.dram_accesses == local.dram_accesses
+            assert sharded.invalidations == local.invalidations
+
+    def test_scalar_access_routes_to_owning_shard(self):
+        config = HierarchyConfig.small()
+        addresses, sizes = columns(n=500)
+        local = MemoryHierarchy(config, 1)
+        local.access_batch(addresses, sizes)
+        with ShardedHierarchy(config, 1, 4, min_batch=500) as sharded:
+            sharded.access_batch(addresses, sizes)  # activates
+            # Same line, same-shard split, and a cross-shard split.
+            for address, size in ((0, 8), (60, 8), (63, 130), (1 << 12, 300)):
+                assert sharded.access(0, address, size, False) == local.access(
+                    0, address, size, False
+                )
+            assert sharded.dram_accesses == local.dram_accesses
+
+    def test_lazy_activation_preserves_warm_state(self):
+        """Batches below min_batch walk the local hierarchy; the fork
+        then inherits that warm state, so a warmup + big batch sequence
+        matches the serial run exactly."""
+        config = HierarchyConfig.small()
+        warm_a, warm_s = columns(n=200, seed=1)
+        big_a, big_s = columns(n=3000, seed=2)
+        local = MemoryHierarchy(config, 1)
+        expected_warm = np.asarray(local.access_batch(warm_a, warm_s),
+                                   dtype=np.float64)
+        expected_big = np.asarray(local.access_batch(big_a, big_s),
+                                  dtype=np.float64)
+        with ShardedHierarchy(config, 1, 2, min_batch=1000) as sharded:
+            got_warm = np.asarray(sharded.access_batch(warm_a, warm_s),
+                                  dtype=np.float64)
+            assert not sharded._active
+            got_big = np.asarray(sharded.access_batch(big_a, big_s),
+                                 dtype=np.float64)
+            assert sharded._active
+            assert np.array_equal(got_warm, expected_warm)
+            assert np.array_equal(got_big, expected_big)
+            assert sharded.dram_accesses == local.dram_accesses
+
+    def test_segments_grow_to_fit_large_batches(self):
+        config = HierarchyConfig.small()
+        n = ShardedHierarchy.MIN_BYTES // 8 + 4096
+        addresses, sizes = columns(n=n)
+        local = MemoryHierarchy(config, 1)
+        expected = np.asarray(local.access_batch(addresses, sizes),
+                              dtype=np.float64)
+        with ShardedHierarchy(config, 1, 2, min_batch=100) as sharded:
+            got = np.asarray(sharded.access_batch(addresses, sizes),
+                             dtype=np.float64)
+            assert np.array_equal(got, expected)
+            # Growth replaced segments; exactly one per worker is live.
+            assert len(shm.live_segment_names()) == 2
+
+
+class TestStatsAndEvents:
+    def test_shard_stats_rollup(self):
+        config = HierarchyConfig.small()
+        addresses, sizes = columns(n=1500)
+        with ShardedHierarchy(config, 1, 4, min_batch=100) as sharded:
+            sharded.access_batch(addresses, sizes)
+            stats = sharded.shard_stats()
+        assert stats["mode"] == "process"
+        assert stats["count"] == 4
+        assert stats["dispatches"] == 1
+        assert stats["sharded_accesses"] == 1500
+        assert stats["imbalance"] >= 1.0
+        assert len(stats["per_worker"]) == 4
+        assert sum(w["walks"] for w in stats["per_worker"]) >= 1
+
+    def test_close_publishes_worker_events(self):
+        config = HierarchyConfig.small()
+        addresses, sizes = columns(n=1500)
+        bus = events.EventBus()
+        seen = []
+        bus.subscribe(lambda event: seen.append(event))
+        with events.use(bus):
+            sharded = ShardedHierarchy(config, 1, 2, min_batch=100)
+            sharded.access_batch(addresses, sizes)
+            sharded.close()
+        kinds = [event.type for event in seen]
+        assert kinds.count("worker-busy") == 2
+        assert kinds.count("shard-imbalance") == 1
+
+
+class TestCleanup:
+    def test_close_unlinks_segments_and_registry(self):
+        sharded = ShardedHierarchy(HierarchyConfig.small(), 1, 2,
+                                   min_batch=100)
+        addresses, sizes = columns(n=500)
+        sharded.access_batch(addresses, sizes)
+        names = [worker._segment.name for worker in sharded._workers]
+        for name in names:
+            assert name in shm.live_segment_names()
+            assert segment_exists(name)
+        sharded.close()
+        for name in names:
+            assert name not in shm.live_segment_names()
+            assert not segment_exists(name)
+        sharded.close()  # idempotent
+
+    def test_cleanup_segments_reclaims_everything(self):
+        sharded = ShardedHierarchy(HierarchyConfig.small(), 1, 2,
+                                   min_batch=100)
+        addresses, sizes = columns(n=500)
+        sharded.access_batch(addresses, sizes)
+        names = [worker._segment.name for worker in sharded._workers]
+        assert shm.cleanup_segments() >= 2
+        for name in names:
+            assert not segment_exists(name)
+        # The segments are gone under the workers; retire them too.
+        sharded._closed = True
+        for worker in sharded._workers:
+            worker._conn.close()
+            worker._proc.join(timeout=5.0)
+
+
+CHILD = textwrap.dedent(
+    """
+    import sys, time
+    import numpy as np
+    from repro.engine.shard import ShardedHierarchy
+    from repro.memsim.hierarchy import HierarchyConfig
+    from repro.telemetry.live import FlightRecorder, crash_dump_scope
+
+    with crash_dump_scope(FlightRecorder(), sys.argv[1]):
+        sharded = ShardedHierarchy(HierarchyConfig.small(), 1, 2,
+                                   min_batch=100)
+        rng = np.random.default_rng(0)
+        sharded.access_batch(
+            rng.integers(0, 1 << 16, size=500, dtype=np.int64),
+            np.full(500, 8, dtype=np.int64),
+        )
+        names = " ".join(w._segment.name for w in sharded._workers)
+        print("READY", names, flush=True)
+        time.sleep(60)
+    """
+)
+
+
+class TestSigtermLeak:
+    @pytest.mark.skipif(
+        not hasattr(signal, "SIGTERM"), reason="no SIGTERM on this platform"
+    )
+    def test_killed_run_leaves_no_shard_segments(self, tmp_path):
+        """Satellite contract: SIGTERM mid-run reclaims every shard
+        worker's segment, via the same incident hook the shm engine
+        registers — not the child's atexit, which never runs."""
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", CHILD, str(tmp_path / "flight.json")],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            line = proc.stdout.readline().split()
+            assert line and line[0] == "READY", "child failed to start"
+            names = line[1:]
+            assert len(names) == 2
+            for name in names:
+                assert segment_exists(name)
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 143
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+            proc.stdout.close()
+        assert (tmp_path / "flight.json").exists()
+        deadline = time.monotonic() + 5.0
+        for name in names:
+            while segment_exists(name):
+                assert time.monotonic() < deadline, f"leaked segment {name}"
+                time.sleep(0.05)
+        leftovers = [
+            p for p in Path("/dev/shm").glob("repro-shm-*")
+        ] if Path("/dev/shm").is_dir() else []
+        assert not any(str(proc.pid) in p.name for p in leftovers)
+
+
+class TestDaemonFallback:
+    """--jobs N runs tasks in daemonic pool workers, which may not
+    fork; sharding must degrade to the serial walk there, not crash."""
+
+    @contextlib.contextmanager
+    def _daemonic(self):
+        proc = multiprocessing.current_process()
+        proc._config["daemon"] = True
+        try:
+            yield
+        finally:
+            proc._config.pop("daemon", None)
+
+    def test_mode_unavailable_in_daemonic_process(self):
+        with self._daemonic():
+            assert not shard_engine.shard_mode_available()
+        assert shard_engine.shard_mode_available()
+
+    def test_refused_fork_falls_back_to_serial_walk(self):
+        config = HierarchyConfig.small()
+        addresses, sizes = columns()
+        local = MemoryHierarchy(config, 1)
+        expected = np.asarray(local.access_batch(addresses, sizes),
+                              dtype=np.float64)
+        before = set(shm._LIVE)
+        with ShardedHierarchy(config, 1, 4, min_batch=100) as sharded:
+            with self._daemonic():
+                # Activation hits the real Process.start() refusal;
+                # the walk must land on the local hierarchy instead.
+                got = np.asarray(sharded.access_batch(addresses, sizes),
+                                 dtype=np.float64)
+            assert np.array_equal(got, expected)
+            assert sharded._fork_denied and not sharded._active
+            assert sharded.l1_misses() == local.l1_misses()
+            assert sharded.dram_accesses == local.dram_accesses
+            # Later batches must not retry the fork, even undaemonised.
+            more_a, more_s = columns(seed=11)
+            got2 = sharded.access_batch(more_a, more_s)
+            expected2 = local.access_batch(more_a, more_s)
+            assert np.array_equal(np.asarray(got2), np.asarray(expected2))
+            assert not sharded._active
+        # The refused activation must not leak segments (the failed
+        # worker start unwinds its own, cleanup unwinds the rest).
+        assert set(shm._LIVE) == before

@@ -15,9 +15,9 @@ class TestResolveMode:
         assert resolve_mode("off") is False
 
     def test_auto_follows_cpu_count(self):
-        import os
+        from repro._compat import effective_cpu_count
 
-        assert resolve_mode("auto") == ((os.cpu_count() or 1) > 1)
+        assert resolve_mode("auto") == (effective_cpu_count() > 1)
 
     def test_unknown_mode_rejected(self):
         with pytest.raises(ValueError):
